@@ -1,0 +1,1 @@
+bench/common.ml: Format Stellar_node Stellar_sim Unix

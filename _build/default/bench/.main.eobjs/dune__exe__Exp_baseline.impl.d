@@ -1,0 +1,1 @@
+bench/exp_baseline.ml: Baseline_pbft Common Hashtbl List Metrics Printf Scenario Stellar_node Stellar_sim

@@ -1,0 +1,1 @@
+bench/exp_messages.ml: Common Metrics Scenario Stellar_node Stellar_sim

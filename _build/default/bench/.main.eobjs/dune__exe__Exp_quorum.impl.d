@@ -1,0 +1,1 @@
+bench/exp_quorum.ml: Common List Printf Quorum_analysis Stellar_crypto

@@ -1,0 +1,1 @@
+bench/exp_resources.ml: Common Gc List Metrics Scenario Stellar_node Stellar_sim Sys

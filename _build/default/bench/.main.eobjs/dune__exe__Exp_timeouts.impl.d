@@ -1,0 +1,1 @@
+bench/exp_timeouts.ml: Common Metrics Scenario Stellar_node Stellar_sim

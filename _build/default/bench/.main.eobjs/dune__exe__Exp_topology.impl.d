@@ -1,0 +1,1 @@
+bench/exp_topology.ml: Common Fun List Quorum_analysis Stellar_node

@@ -1,0 +1,1 @@
+bench/exp_validators.ml: Common List Metrics Scenario Stellar_node

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Common Exp_accounts Exp_baseline Exp_close Exp_load Exp_messages Exp_quorum Exp_resources Exp_timeouts Exp_topology Exp_validators Format List Micro Unix

@@ -1,0 +1,60 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (§6.2, §7) plus the ablation benches.
+
+     dune exec bench/main.exe                 # all experiments, scaled
+     dune exec bench/main.exe -- --full       # paper-scale parameters
+     dune exec bench/main.exe -- -e fig9-accounts -e tab-qic
+     dune exec bench/main.exe -- --list *)
+
+let experiments =
+  [
+    ("fig7-topology", Exp_topology.run);
+    ("tab-messages", Exp_messages.run);
+    ("fig8-timeouts", Exp_timeouts.run);
+    ("fig9-accounts", Exp_accounts.run);
+    ("fig10-load", Exp_load.run);
+    ("fig11-validators", Exp_validators.run);
+    ("tab-close", Exp_close.run);
+    ("tab-resources", Exp_resources.run);
+    ("tab-qic", Exp_quorum.run);
+    ("abl-baseline", Exp_baseline.run);
+    ("abl-crypto", Micro.run);
+  ]
+
+let () =
+  let selected = ref [] in
+  let list_only = ref false in
+  let spec =
+    [
+      ("--full", Arg.Set Common.full, "paper-scale parameters (slow)");
+      ("-e", Arg.String (fun s -> selected := s :: !selected), "run one experiment (repeatable)");
+      ("--list", Arg.Set list_only, "list experiment ids");
+    ]
+  in
+  Arg.parse spec (fun s -> selected := s :: !selected) "bench/main.exe [-e EXP]... [--full]";
+  if !list_only then
+    List.iter (fun (name, _) -> print_endline name) experiments
+  else begin
+    let to_run =
+      match !selected with
+      | [] -> experiments
+      | names ->
+          List.filter_map
+            (fun n ->
+              match List.assoc_opt n experiments with
+              | Some f -> Some (n, f)
+              | None ->
+                  Format.eprintf "unknown experiment %s (try --list)@." n;
+                  exit 1)
+            (List.rev names)
+    in
+    let t0 = Unix.gettimeofday () in
+    Format.printf "Stellar (SOSP'19) evaluation reproduction -- %s parameters@."
+      (if !Common.full then "PAPER-SCALE" else "scaled-down (use --full for paper scale)");
+    List.iter
+      (fun (name, f) ->
+        let (), dt = Common.time f in
+        Format.printf "[%s finished in %.1fs]@." name dt)
+      to_run;
+    Format.printf "@.total: %.1fs@." (Unix.gettimeofday () -. t0)
+  end

@@ -1,0 +1,67 @@
+(* Command-line driver for the network simulator: run one scenario and
+   print its report.  `netsim --help` for options. *)
+
+open Cmdliner
+
+let run validators accounts rate duration latency_name topology leaves seed =
+  let latency =
+    match latency_name with
+    | "datacenter" -> Stellar_sim.Latency.datacenter
+    | "wide-area" -> Stellar_sim.Latency.wide_area
+    | s -> (
+        match float_of_string_opt s with
+        | Some ms -> Stellar_sim.Latency.Constant (ms /. 1000.0)
+        | None -> failwith "latency must be datacenter, wide-area, or a number (ms)")
+  in
+  let spec =
+    match topology with
+    | "all-to-all" -> Stellar_node.Topology.all_to_all ~n:validators
+    | "tiered" ->
+        let spec, _ = Stellar_node.Topology.tiered ~leaves () in
+        spec
+    | _ -> failwith "topology must be all-to-all or tiered"
+  in
+  let params =
+    {
+      (Stellar_node.Scenario.default ~spec) with
+      Stellar_node.Scenario.n_accounts = accounts;
+      tx_rate = rate;
+      duration;
+      latency;
+      seed;
+    }
+  in
+  Format.printf "topology: %s@." (Stellar_node.Topology.describe spec);
+  let report = Stellar_node.Scenario.run params in
+  Format.printf "%a@." Stellar_node.Scenario.pp_report report;
+  if report.Stellar_node.Scenario.diverged then exit 2
+
+let validators =
+  Arg.(value & opt int 4 & info [ "n"; "validators" ] ~doc:"Number of validators")
+
+let accounts = Arg.(value & opt int 1000 & info [ "accounts" ] ~doc:"Ledger accounts")
+let rate = Arg.(value & opt float 20.0 & info [ "rate" ] ~doc:"Payments per second")
+
+let duration =
+  Arg.(value & opt float 60.0 & info [ "duration" ] ~doc:"Virtual seconds under load")
+
+let latency =
+  Arg.(
+    value
+    & opt string "datacenter"
+    & info [ "latency" ] ~doc:"datacenter | wide-area | <milliseconds>")
+
+let topology =
+  Arg.(value & opt string "all-to-all" & info [ "topology" ] ~doc:"all-to-all | tiered")
+
+let leaves = Arg.(value & opt int 0 & info [ "leaves" ] ~doc:"Watcher nodes (tiered only)")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "netsim" ~doc:"Simulate a Stellar network under payment load")
+    Term.(
+      const run $ validators $ accounts $ rate $ duration $ latency $ topology $ leaves
+      $ seed)
+
+let () = exit (Cmd.eval cmd)

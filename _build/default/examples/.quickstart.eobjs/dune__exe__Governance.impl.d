@@ -1,0 +1,1 @@
+examples/governance.ml: Array Format Genesis Stellar_herder Stellar_ledger Stellar_node Stellar_sim Topology Validator

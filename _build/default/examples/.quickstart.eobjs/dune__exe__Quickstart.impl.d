@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Asset Format Genesis Header List Option Stellar_crypto Stellar_herder Stellar_horizon Stellar_ledger Stellar_node Stellar_sim String Topology Tx Validator

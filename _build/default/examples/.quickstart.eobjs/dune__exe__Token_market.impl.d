@@ -1,0 +1,1 @@
+examples/token_market.ml: Apply Asset Entry Format Hashtbl List Option Price State Stellar_crypto Stellar_horizon Stellar_ledger Tx

@@ -1,0 +1,183 @@
+(* The paper's motivating scenario (§1, §7.1): send $0.50 from the U.S. to
+   Mexico in seconds for a fraction of a cent.
+
+   Two anchors issue USD and MXN.  The USD anchor runs a KYC program
+   (auth_required); market makers provide USD/XLM and XLM/MXN liquidity;
+   horizon's path finder picks the cheapest route; and a single atomic
+   PathPayment converts USD -> XLM -> MXN with an end-to-end price bound —
+   no solvency or exchange-rate risk at any intermediary.
+
+   Run with: dune exec examples/cross_border.exe *)
+
+open Stellar_node
+open Stellar_ledger
+
+let scheme =
+  (module Stellar_crypto.Sim_sig : Stellar_crypto.Sig_intf.SCHEME with type secret = string)
+
+let cents n = Asset.of_units n / 100 (* one hundredth of a whole unit *)
+
+let () =
+  let engine = Stellar_sim.Engine.create () in
+  let rng = Stellar_sim.Rng.create ~seed:7 in
+  let spec = Topology.all_to_all ~n:4 in
+  let network =
+    Stellar_sim.Network.create ~engine ~rng ~n:4 ~latency:Stellar_sim.Latency.wide_area ()
+  in
+  (* participants: anchors, market makers, alice (US) and benito (MX) *)
+  let genesis, accts = Genesis.make ~n_accounts:6 () in
+  let usd_anchor = accts.(0)
+  and mxn_anchor = accts.(1)
+  and mm_usd = accts.(2)
+  and mm_mxn = accts.(3)
+  and alice = accts.(4)
+  and benito = accts.(5) in
+  let usd = Asset.credit ~code:"USD" ~issuer:usd_anchor.Genesis.public in
+  let mxn = Asset.credit ~code:"MXN" ~issuer:mxn_anchor.Genesis.public in
+
+  let validators =
+    Array.init 4 (fun i ->
+        Validator.create ~network ~index:i
+          ~peers:(spec.Topology.peers_of i)
+          ~config:
+            (Stellar_herder.Herder.default_config ~seed:(spec.Topology.validator_seed i)
+               ~qset:(spec.Topology.qset_of i))
+          ~genesis ())
+  in
+  Array.iter Validator.start validators;
+
+  let seqs = Hashtbl.create 8 in
+  let submit (who : Genesis.account) ops =
+    let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt seqs who.Genesis.name) in
+    Hashtbl.replace seqs who.Genesis.name seq;
+    let tx = Tx.make ~source:who.Genesis.public ~seq_num:seq ops in
+    Validator.submit_tx validators.(0)
+      (Tx.sign tx ~secret:who.Genesis.secret ~public:who.Genesis.public ~scheme)
+  in
+  let run_ledgers n = Stellar_sim.Engine.run ~until:(Stellar_sim.Engine.now engine +. (5.2 *. float_of_int n)) engine in
+
+  (* --- 1. the USD anchor enables KYC enforcement --- *)
+  submit usd_anchor
+    [
+      Tx.op
+        (Tx.Set_options
+           {
+             master_weight = None;
+             low = None;
+             medium = None;
+             high = None;
+             signer = None;
+             home_domain = Some "usd-anchor.example";
+             set_auth_required = Some true;
+             set_auth_revocable = Some true;
+             set_auth_immutable = None;
+           });
+    ];
+  (* --- 2. everyone opens trustlines --- *)
+  List.iter
+    (fun (who : Genesis.account) ->
+      submit who [ Tx.op (Tx.Change_trust { asset = usd; limit = Asset.of_units 1_000_000 }) ])
+    [ mm_usd; alice ];
+  List.iter
+    (fun (who : Genesis.account) ->
+      submit who [ Tx.op (Tx.Change_trust { asset = mxn; limit = Asset.of_units 1_000_000 }) ])
+    [ mm_mxn; benito ];
+  run_ledgers 2;
+
+  (* --- 3. the anchor KYCs its USD customers, then funds them --- *)
+  List.iter
+    (fun (who : Genesis.account) ->
+      submit usd_anchor
+        [
+          Tx.op
+            (Tx.Allow_trust { trustor = who.Genesis.public; asset_code = "USD"; authorize = true });
+        ])
+    [ mm_usd; alice ];
+  run_ledgers 1;
+  submit usd_anchor
+    [ Tx.op (Tx.Payment { destination = mm_usd.Genesis.public; asset = usd; amount = Asset.of_units 10_000 }) ];
+  submit usd_anchor
+    [ Tx.op (Tx.Payment { destination = alice.Genesis.public; asset = usd; amount = Asset.of_units 20 }) ];
+  submit mxn_anchor
+    [ Tx.op (Tx.Payment { destination = mm_mxn.Genesis.public; asset = mxn; amount = Asset.of_units 100_000 }) ];
+  run_ledgers 1;
+
+  (* --- 4. market makers post liquidity ---
+     mm_usd buys USD with XLM at 2 XLM per USD;
+     mm_mxn sells MXN for XLM at 8.5 MXN per XLM. *)
+  submit mm_usd
+    [
+      Tx.op
+        (Tx.Manage_offer
+           {
+             offer_id = 0;
+             selling = Asset.native;
+             buying = usd;
+             amount = Asset.of_units 5_000;
+             price = Price.make ~n:1 ~d:2;
+             passive = false;
+           });
+    ];
+  submit mm_mxn
+    [
+      Tx.op
+        (Tx.Manage_offer
+           {
+             offer_id = 0;
+             selling = mxn;
+             buying = Asset.native;
+             amount = Asset.of_units 50_000;
+             price = Price.make ~n:2 ~d:17;
+             passive = false;
+           });
+    ];
+  run_ledgers 1;
+
+  (* --- 5. alice asks horizon for the cheapest route for 8.50 MXN --- *)
+  let state = Stellar_herder.Herder.state (Validator.herder validators.(0)) in
+  let want_mxn = cents 850 in
+  let routes =
+    Stellar_horizon.Pathfinder.find state ~source_assets:[ usd ] ~dest_asset:mxn
+      ~dest_amount:want_mxn ()
+  in
+  let route = List.hd routes in
+  Format.printf "horizon: cheapest route sends %a USD via %d hop(s) %s@."
+    Asset.pp_amount route.Stellar_horizon.Pathfinder.send_amount
+    (List.length route.Stellar_horizon.Pathfinder.path + 1)
+    (String.concat " -> "
+       (List.map (Format.asprintf "%a" Asset.pp) route.Stellar_horizon.Pathfinder.path));
+
+  (* --- 6. one atomic path payment, with an end-to-end limit price --- *)
+  let t_submit = Stellar_sim.Engine.now engine in
+  submit alice
+    [
+      Tx.op
+        (Tx.Path_payment
+           {
+             send_asset = usd;
+             send_max = route.Stellar_horizon.Pathfinder.send_amount;
+             destination = benito.Genesis.public;
+             dest_asset = mxn;
+             dest_amount = want_mxn;
+             path = route.Stellar_horizon.Pathfinder.path;
+           });
+    ];
+  run_ledgers 2;
+
+  let state = Stellar_herder.Herder.state (Validator.herder validators.(0)) in
+  let benito_mxn =
+    match State.trustline state benito.Genesis.public mxn with
+    | Some tl -> tl.Entry.tl_balance
+    | None -> 0
+  in
+  let alice_usd =
+    match State.trustline state alice.Genesis.public usd with
+    | Some tl -> tl.Entry.tl_balance
+    | None -> 0
+  in
+  Format.printf "benito received %a MXN; alice has %a USD left; fee paid: 0.0000100 XLM@."
+    Asset.pp_amount benito_mxn Asset.pp_amount alice_usd;
+  Format.printf "settled in %.1f virtual seconds, atomically across two currency pairs.@."
+    (Stellar_sim.Engine.now engine -. t_submit);
+  assert (benito_mxn = want_mxn);
+  assert (State.check_integrity state = Ok ())

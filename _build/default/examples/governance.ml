@@ -1,0 +1,73 @@
+(* Upgrade governance (§5.3): global parameters change through a
+   federated-voting "tussle space".  Governing validators nominate a desired
+   base-fee upgrade; non-governing validators never introduce upgrades but
+   go along with what the governing quorum confirms.
+
+   Run with: dune exec examples/governance.exe *)
+
+open Stellar_node
+
+let () =
+  let n = 5 in
+  let spec = Topology.all_to_all ~n in
+  let engine = Stellar_sim.Engine.create () in
+  let rng = Stellar_sim.Rng.create ~seed:21 in
+  let network =
+    Stellar_sim.Network.create ~engine ~rng ~n ~latency:Stellar_sim.Latency.datacenter ()
+  in
+  let genesis, _ = Genesis.make ~n_accounts:4 () in
+
+  (* validators 0-2 are governing and want the base fee raised to 200
+     stroops; 3-4 are non-governing *)
+  let validators =
+    Array.init n (fun i ->
+        let base =
+          Stellar_herder.Herder.default_config ~seed:(spec.Topology.validator_seed i)
+            ~qset:(spec.Topology.qset_of i)
+        in
+        let config =
+          if i < 3 then
+            {
+              base with
+              Stellar_herder.Herder.is_governing = true;
+              desired_upgrades = [ Stellar_herder.Value.Upgrade_base_fee 200 ];
+            }
+          else base
+        in
+        Validator.create ~network ~index:i ~peers:(spec.Topology.peers_of i) ~config
+          ~genesis ())
+  in
+  Array.iter Validator.start validators;
+
+  let fee i =
+    Stellar_ledger.State.base_fee
+      (Stellar_herder.Herder.state (Validator.herder validators.(i)))
+  in
+  Format.printf "before the vote: every validator charges %d stroops per operation@." (fee 4);
+  assert (fee 4 = 100);
+
+  (* run until the upgrade activates: it takes effect on the first ledger
+     whose nomination leader is a governing validator *)
+  let fee_now () = fee 4 in
+  let rec wait deadline =
+    Stellar_sim.Engine.run ~until:(Stellar_sim.Engine.now engine +. 5.2) engine;
+    if fee_now () = 100 && Stellar_sim.Engine.now engine < deadline then wait deadline
+  in
+  wait 200.0;
+
+  Array.iteri
+    (fun i v ->
+      Format.printf "validator %d (%s): ledger #%d, base fee %d@." i
+        (if i < 3 then "governing" else "non-governing")
+        (Stellar_herder.Herder.ledger_seq (Validator.herder v))
+        (fee i))
+    validators;
+
+  (* the upgrade activated everywhere, including on non-governing nodes *)
+  for i = 0 to n - 1 do
+    assert (fee i = 200)
+  done;
+  Format.printf
+    "@.the governing quorum's desired upgrade is now in force network-wide;@.";
+  Format.printf
+    "non-governing validators delegated the decision without giving up safety.@."

@@ -1,0 +1,1 @@
+lib/archive/archive.ml: Apply Hashtbl Header List Option Printf Result State Stellar_bucket Stellar_herder Stellar_ledger String Tx

@@ -1,0 +1,1 @@
+lib/archive/archive.mli: Stellar_bucket Stellar_herder Stellar_ledger

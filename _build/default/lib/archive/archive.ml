@@ -1,0 +1,115 @@
+open Stellar_ledger
+
+type checkpoint = {
+  seq : int;
+  chk_header : Header.t;
+  chk_buckets : Stellar_bucket.Bucket_list.t;
+}
+
+type t = {
+  checkpoint_frequency : int;
+  headers : (int, Header.t) Hashtbl.t;
+  tx_sets : (int, Stellar_herder.Tx_set.t) Hashtbl.t;
+  tx_index : (string, int) Hashtbl.t;  (* tx hash -> ledger seq *)
+  mutable checkpoints : checkpoint list;  (* newest first *)
+  mutable latest : int option;
+}
+
+let create ?(checkpoint_frequency = 8) () =
+  {
+    checkpoint_frequency;
+    headers = Hashtbl.create 256;
+    tx_sets = Hashtbl.create 256;
+    tx_index = Hashtbl.create 1024;
+    checkpoints = [];
+    latest = None;
+  }
+
+let record_ledger t ~header ~tx_set ~buckets =
+  let seq = header.Header.ledger_seq in
+  (match t.latest with
+  | Some prev when seq <> prev + 1 ->
+      invalid_arg (Printf.sprintf "Archive.record_ledger: out of order (%d after %d)" seq prev)
+  | _ -> ());
+  Hashtbl.replace t.headers seq header;
+  Hashtbl.replace t.tx_sets seq tx_set;
+  List.iter
+    (fun signed -> Hashtbl.replace t.tx_index (Tx.hash signed.Tx.tx) seq)
+    (Stellar_herder.Tx_set.txs tx_set);
+  if seq mod t.checkpoint_frequency = 0 then
+    t.checkpoints <- { seq; chk_header = header; chk_buckets = buckets } :: t.checkpoints;
+  t.latest <- Some seq
+
+let latest_seq t = t.latest
+let header t seq = Hashtbl.find_opt t.headers seq
+let tx_set_for t seq = Hashtbl.find_opt t.tx_sets seq
+
+let find_tx t hash =
+  match Hashtbl.find_opt t.tx_index hash with
+  | None -> None
+  | Some seq -> (
+      match Hashtbl.find_opt t.tx_sets seq with
+      | None -> None
+      | Some ts ->
+          Stellar_herder.Tx_set.txs ts
+          |> List.find_opt (fun s -> String.equal (Tx.hash s.Tx.tx) hash)
+          |> Option.map (fun s -> (seq, s)))
+
+let latest_checkpoint t = match t.checkpoints with c :: _ -> Some c | [] -> None
+let checkpoint_count t = List.length t.checkpoints
+
+let catchup t =
+  let ( let* ) = Result.bind in
+  match latest_checkpoint t with
+  | None -> Error "no checkpoint available"
+  | Some { seq; chk_header; chk_buckets } ->
+      (* rebuild state from the checkpoint's buckets *)
+      let* () =
+        if String.equal (Stellar_bucket.Bucket_list.hash chk_buckets) chk_header.Header.snapshot_hash
+        then Ok ()
+        else Error "checkpoint bucket hash does not match header"
+      in
+      let entries = Stellar_bucket.Bucket_list.live_entries chk_buckets in
+      let state =
+        State.of_entries ~ledger_seq:seq ~close_time:chk_header.Header.close_time
+          ~base_fee:chk_header.Header.base_fee ~base_reserve:chk_header.Header.base_reserve
+          ~protocol_version:chk_header.Header.protocol_version
+          ~fee_pool:chk_header.Header.fee_pool ~id_pool:chk_header.Header.id_pool entries
+      in
+      (* replay forward to the tip *)
+      let tip = Option.value ~default:seq t.latest in
+      let rec replay state acc n =
+        if n > tip then Ok (state, List.rev acc)
+        else
+          let* h =
+            Option.to_result ~none:(Printf.sprintf "missing header %d" n) (header t n)
+          in
+          let* ts =
+            Option.to_result ~none:(Printf.sprintf "missing tx set %d" n) (tx_set_for t n)
+          in
+          let state, _results =
+            Apply.apply_tx_set Apply.sim_ctx state ~close_time:h.Header.close_time
+              (Stellar_herder.Tx_set.txs ts)
+          in
+          let state = State.with_params ~base_fee:h.Header.base_fee
+              ~base_reserve:h.Header.base_reserve ~protocol_version:h.Header.protocol_version
+              state
+          in
+          let state, _ = State.take_dirty state in
+          replay state (h :: acc) (n + 1)
+      in
+      let* state, replayed = replay state [] (seq + 1) in
+      (* collect the full chain back to the earliest archived header *)
+      let rec back acc n =
+        match header t n with Some h -> back (h :: acc) (n - 1) | None -> acc
+      in
+      let chain = back [] seq @ replayed in
+      let* () =
+        if Header.verify_chain chain then Ok () else Error "header chain broken"
+      in
+      Ok (state, chain)
+
+let size_bytes t =
+  let headers = Hashtbl.length t.headers * 256 in
+  let txs = Hashtbl.fold (fun _ ts acc -> acc + Stellar_herder.Tx_set.size_bytes ts) t.tx_sets 0 in
+  headers + txs

@@ -1,0 +1,1 @@
+lib/baseline/pbft.ml: Array Hashtbl Int List Option Set Stellar_crypto Stellar_sim String

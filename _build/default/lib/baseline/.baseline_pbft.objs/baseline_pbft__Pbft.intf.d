@@ -1,0 +1,1 @@
+lib/baseline/pbft.mli: Stellar_sim

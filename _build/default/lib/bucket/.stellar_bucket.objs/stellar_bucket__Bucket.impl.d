@@ -1,0 +1,1 @@
+lib/bucket/bucket.ml: Array Buffer Entry Hashtbl Int32 List Stellar_crypto Stellar_ledger String

@@ -1,0 +1,1 @@
+lib/bucket/bucket_list.ml: Array Bucket Fun List Stellar_crypto Stellar_ledger String

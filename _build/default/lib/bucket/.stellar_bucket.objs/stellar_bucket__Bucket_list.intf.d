@@ -1,0 +1,1 @@
+lib/bucket/bucket_list.mli: Bucket Stellar_ledger

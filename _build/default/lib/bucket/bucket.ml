@@ -1,0 +1,92 @@
+open Stellar_ledger
+
+type item = { key : Entry.key; entry : Entry.entry option }
+
+type t = { items : item array; hash : string }
+
+let encode_item it =
+  let buf = Buffer.create 64 in
+  let k = Entry.encode_key it.key in
+  Buffer.add_int32_be buf (Int32.of_int (String.length k));
+  Buffer.add_string buf k;
+  (match it.entry with
+  | None -> Buffer.add_string buf "DEAD"
+  | Some e ->
+      let enc = Entry.encode_entry e in
+      Buffer.add_int32_be buf (Int32.of_int (String.length enc));
+      Buffer.add_string buf enc);
+  Buffer.contents buf
+
+let compute_hash items =
+  if Array.length items = 0 then Stellar_crypto.Sha256.digest "empty-bucket"
+  else begin
+    let ctx = Stellar_crypto.Sha256.init () in
+    Array.iter (fun it -> Stellar_crypto.Sha256.update ctx (encode_item it)) items;
+    Stellar_crypto.Sha256.final ctx
+  end
+
+let empty = { items = [||]; hash = compute_hash [||] }
+let is_empty t = Array.length t.items = 0
+let size t = Array.length t.items
+
+let of_items list =
+  (* Sort by key; on duplicates the later element of [list] wins. *)
+  let tbl = Hashtbl.create (List.length list) in
+  List.iteri (fun i it -> Hashtbl.replace tbl (Entry.encode_key it.key) (i, it)) list;
+  let deduped = Hashtbl.fold (fun _ (_, it) acc -> it :: acc) tbl [] in
+  let arr = Array.of_list deduped in
+  Array.sort (fun a b -> Entry.compare_key a.key b.key) arr;
+  { items = arr; hash = compute_hash arr }
+
+let items t = Array.to_list t.items
+let hash t = t.hash
+
+let find t key =
+  let lo = ref 0 and hi = ref (Array.length t.items - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Entry.compare_key t.items.(mid).key key in
+    if c = 0 then found := Some t.items.(mid)
+    else if c < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let merge ~newer ~older ~keep_tombstones =
+  let n = Array.length newer.items and m = Array.length older.items in
+  let out = ref [] in
+  let push it = if it.entry <> None || keep_tombstones then out := it :: !out in
+  let i = ref 0 and j = ref 0 in
+  while !i < n || !j < m do
+    if !i >= n then begin
+      push older.items.(!j);
+      incr j
+    end
+    else if !j >= m then begin
+      push newer.items.(!i);
+      incr i
+    end
+    else begin
+      let c = Entry.compare_key newer.items.(!i).key older.items.(!j).key in
+      if c < 0 then begin
+        push newer.items.(!i);
+        incr i
+      end
+      else if c > 0 then begin
+        push older.items.(!j);
+        incr j
+      end
+      else begin
+        (* same key: newer shadows older *)
+        push newer.items.(!i);
+        incr i;
+        incr j
+      end
+    end
+  done;
+  let arr = Array.of_list (List.rev !out) in
+  { items = arr; hash = compute_hash arr }
+
+let live_entries t =
+  Array.to_list t.items |> List.filter_map (fun it -> it.entry)

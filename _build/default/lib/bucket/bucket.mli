@@ -1,0 +1,33 @@
+(** A bucket: an immutable, key-sorted run of ledger entries (live or
+    tombstoned), hashed once at construction (§5.1).
+
+    Buckets are only ever read sequentially as part of merges — the paper
+    notes random access by key is not required, which lets the structure
+    relax LSM-tree constraints.  We keep a binary-search [find] anyway for
+    the archive/catchup tests. *)
+
+type item = { key : Stellar_ledger.Entry.key; entry : Stellar_ledger.Entry.entry option }
+(** [entry = None] is a tombstone (the entry died). *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val size : t -> int
+
+val of_items : item list -> t
+(** Sorts and deduplicates by key (last write wins). *)
+
+val items : t -> item list
+val hash : t -> string
+(** SHA-256 over the serialized run; the empty bucket hashes to a fixed
+    sentinel. *)
+
+val find : t -> Stellar_ledger.Entry.key -> item option
+
+val merge : newer:t -> older:t -> keep_tombstones:bool -> t
+(** Sequential merge-join: entries from [newer] shadow [older].  At the
+    bottom level tombstones are dropped ([keep_tombstones = false]),
+    reclaiming space for entries that died long ago. *)
+
+val live_entries : t -> Stellar_ledger.Entry.entry list

@@ -1,0 +1,39 @@
+(** The bucket list (§5.1): ledger entries stratified by time of last
+    modification into exponentially-sized levels, so that hashing and state
+    reconciliation cost is proportional to recent churn rather than total
+    ledger size.
+
+    Level 0 receives each ledger's batch of changed entries; when a level
+    has absorbed [spill_factor] batches it spills (merges) into the level
+    below, giving level [i] a capacity of ~[spill_factor^i] ledgers of
+    churn.  The cumulative hash of per-level bucket hashes is the snapshot
+    hash committed in the ledger header; reconciling two bucket lists only
+    transfers the levels whose hashes differ. *)
+
+type t
+
+val create : ?levels:int -> ?spill_factor:int -> unit -> t
+(** Defaults: 10 levels, spill factor 4 (stellar-core's shape). *)
+
+val add_batch : t -> Bucket.item list -> t
+(** Absorb one ledger's changes; performs any due spills. *)
+
+val hash : t -> string
+val level_count : t -> int
+val level_bucket : t -> int -> Bucket.t
+val level_sizes : t -> int list
+val total_entries : t -> int
+
+val find : t -> Stellar_ledger.Entry.key -> Bucket.item option
+(** Newest-level match wins (may be a tombstone). *)
+
+val live_entries : t -> Stellar_ledger.Entry.entry list
+(** Reconstruct the full live ledger state (used in catchup). *)
+
+val diff_levels : t -> t -> int list
+(** Levels whose bucket hashes differ — the buckets a reconnecting node
+    must download (§5.1: "downloading only buckets that differ"). *)
+
+val of_state : Stellar_ledger.State.t -> t
+(** Bootstrap a bucket list holding a full state snapshot in its bottom
+    level. *)

@@ -1,0 +1,1 @@
+lib/core/ballot.ml: Ballot Driver Federation Int List Option Quorum_set String Types

@@ -1,0 +1,1 @@
+lib/core/ballot.mli: Driver Quorum_set Types

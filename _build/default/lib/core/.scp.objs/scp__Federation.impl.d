@@ -1,0 +1,1 @@
+lib/core/federation.ml: Map Option Quorum_set Set String Types

@@ -1,0 +1,1 @@
+lib/core/federation.mli: Map Quorum_set Types

@@ -1,0 +1,1 @@
+lib/core/leader.ml: Buffer Char Int32 Int64 List Quorum_set Stellar_crypto String

@@ -1,0 +1,1 @@
+lib/core/leader.mli: Quorum_set Types

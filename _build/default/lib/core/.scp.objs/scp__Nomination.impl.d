@@ -1,0 +1,1 @@
+lib/core/nomination.ml: Driver Federation Leader List Option Quorum_set Set String Types

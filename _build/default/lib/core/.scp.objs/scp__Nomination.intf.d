@@ -1,0 +1,1 @@
+lib/core/nomination.mli: Driver Quorum_set Types

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Driver Hashtbl Int List Option Quorum_set Slot Types

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Ballot Driver Quorum_set Types

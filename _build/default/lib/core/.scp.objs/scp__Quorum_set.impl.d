@@ -1,0 +1,1 @@
+lib/core/quorum_set.ml: Buffer Float Format Int32 List Stellar_crypto String

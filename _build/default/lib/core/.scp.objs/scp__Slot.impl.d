@@ -1,0 +1,1 @@
+lib/core/slot.ml: Ballot Driver Nomination Quorum_set String Types

@@ -1,0 +1,1 @@
+lib/core/types.ml: Buffer Format Int Int32 Int64 List Quorum_set Stellar_crypto String

@@ -1,0 +1,48 @@
+type validation = Invalid | Valid
+
+type hooks = {
+  on_nomination_round : slot:int -> round:int -> unit;
+  on_ballot_bump : slot:int -> counter:int -> unit;
+  on_timeout : slot:int -> kind:[ `Nomination | `Ballot ] -> unit;
+  on_phase_change : slot:int -> phase:string -> unit;
+}
+
+let no_hooks =
+  {
+    on_nomination_round = (fun ~slot:_ ~round:_ -> ());
+    on_ballot_bump = (fun ~slot:_ ~counter:_ -> ());
+    on_timeout = (fun ~slot:_ ~kind:_ -> ());
+    on_phase_change = (fun ~slot:_ ~phase:_ -> ());
+  }
+
+type t = {
+  emit_envelope : Types.envelope -> unit;
+  sign : string -> string;
+  verify : Types.node_id -> msg:string -> signature:string -> bool;
+  validate_value : slot:int -> Types.value -> validation;
+  combine_candidates : slot:int -> Types.value list -> Types.value option;
+  value_externalized : slot:int -> Types.value -> unit;
+  nomination_timeout : round:int -> float;
+  ballot_timeout : counter:int -> float;
+  schedule : delay:float -> (unit -> unit) -> unit -> unit;
+  hooks : hooks;
+}
+
+let default_nomination_timeout ~round = float_of_int (1 + round)
+let default_ballot_timeout ~counter = float_of_int (1 + counter)
+
+let make ~emit_envelope ~sign ~verify ~validate_value ~combine_candidates
+    ~value_externalized ~schedule ?(nomination_timeout = default_nomination_timeout)
+    ?(ballot_timeout = default_ballot_timeout) ?(hooks = no_hooks) () =
+  {
+    emit_envelope;
+    sign;
+    verify;
+    validate_value;
+    combine_candidates;
+    value_externalized;
+    nomination_timeout;
+    ballot_timeout;
+    schedule;
+    hooks;
+  }

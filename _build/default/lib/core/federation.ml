@@ -1,0 +1,46 @@
+module Node_map = Map.Make (String)
+
+type statements = Types.statement Node_map.t
+
+(* Greatest fixpoint: start from all nodes satisfying [pred] and repeatedly
+   remove nodes whose quorum set has no slice within the current set.  The
+   result is the largest candidate quorum inside the predicate set. *)
+let quorum_fixpoint statements pred =
+  let module S = Set.Make (String) in
+  let initial =
+    Node_map.fold
+      (fun node st acc -> if pred st then S.add node acc else acc)
+      statements S.empty
+  in
+  let rec shrink set =
+    let keep node =
+      let st = Node_map.find node statements in
+      Quorum_set.is_quorum_slice st.Types.quorum_set (fun v -> S.mem v set)
+    in
+    let set' = S.filter keep set in
+    if S.cardinal set' = S.cardinal set then set else shrink set'
+  in
+  shrink initial
+
+let find_quorum ~local_qset statements pred =
+  let module S = Set.Make (String) in
+  let set = quorum_fixpoint statements pred in
+  if Quorum_set.is_quorum_slice local_qset (fun v -> S.mem v set) then
+    Some (S.elements set)
+  else None
+
+let is_quorum ~local_qset statements pred =
+  Option.is_some (find_quorum ~local_qset statements pred)
+
+let is_v_blocking_set ~local_qset statements pred =
+  let in_set v =
+    match Node_map.find_opt v statements with Some st -> pred st | None -> false
+  in
+  Quorum_set.is_v_blocking local_qset in_set
+
+let federated_accept ~local_qset statements ~voted ~accepted =
+  is_v_blocking_set ~local_qset statements accepted
+  || is_quorum ~local_qset statements (fun st -> voted st || accepted st)
+
+let federated_ratify ~local_qset statements pred =
+  is_quorum ~local_qset statements pred

@@ -1,0 +1,50 @@
+let weight ~qset ~self node =
+  if String.equal self node then 1.0 else Quorum_set.weight qset node
+
+(* First 8 bytes of SHA256(slot || prev || tag || round || node), scaled to
+   [0,1).  Matches the paper's H_i construction. *)
+let hash_fraction ~slot ~prev ~tag ~round node =
+  let buf = Buffer.create 64 in
+  Buffer.add_int64_be buf (Int64.of_int slot);
+  Buffer.add_string buf prev;
+  Buffer.add_int32_be buf (Int32.of_int tag);
+  Buffer.add_int32_be buf (Int32.of_int round);
+  Buffer.add_string buf node;
+  let digest = Stellar_crypto.Sha256.digest (Buffer.contents buf) in
+  (* 53 bits of the digest for an exact float in [0,1). *)
+  let bits = ref 0 in
+  for i = 0 to 6 do
+    bits := (!bits lsl 8) lor Char.code digest.[i]
+  done;
+  float_of_int !bits /. 72057594037927936.0 (* 2^56 *)
+
+let tag_neighbor = 1
+let tag_priority = 2
+
+let is_neighbor ~qset ~self ~slot ~prev ~round node =
+  let w = weight ~qset ~self node in
+  w > 0.0 && hash_fraction ~slot ~prev ~tag:tag_neighbor ~round node < w
+
+let priority ~slot ~prev ~round node =
+  hash_fraction ~slot ~prev ~tag:tag_priority ~round node
+
+let round_leader ~qset ~self ~slot ~prev ~round =
+  let nodes = List.sort_uniq String.compare (self :: Quorum_set.all_validators qset) in
+  let neighbors = List.filter (is_neighbor ~qset ~self ~slot ~prev ~round) nodes in
+  match neighbors with
+  | _ :: _ ->
+      let best (bn, bp) n =
+        let p = priority ~slot ~prev ~round n in
+        if p > bp then (n, p) else (bn, bp)
+      in
+      fst (List.fold_left best ("", -1.0) neighbors)
+  | [] ->
+      (* Fall back to the node minimizing H0(v)/weight(v) (§3.2.5). *)
+      let score n =
+        hash_fraction ~slot ~prev ~tag:tag_neighbor ~round n /. weight ~qset ~self n
+      in
+      let best (bn, bs) n =
+        let s = score n in
+        if s < bs then (n, s) else (bn, bs)
+      in
+      fst (List.fold_left best ("", infinity) nodes)

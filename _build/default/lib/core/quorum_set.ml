@@ -1,0 +1,101 @@
+type node_id = string
+
+type t = { threshold : int; validators : node_id list; inner : t list }
+
+let member_count_shallow t = List.length t.validators + List.length t.inner
+
+let make ~threshold ?(inner = []) validators =
+  let t = { threshold; validators; inner } in
+  if threshold < 1 || threshold > member_count_shallow t then
+    invalid_arg "Quorum_set.make: threshold out of range";
+  t
+
+let singleton v = make ~threshold:1 [ v ]
+
+let majority validators =
+  make ~threshold:((List.length validators / 2) + 1) validators
+
+(* stellar-core computes percentage thresholds as 1 + (n*pct - 1)/100. *)
+let percent_threshold pct n = 1 + (((n * pct) - 1) / 100)
+
+let super_majority validators =
+  make ~threshold:(percent_threshold 67 (List.length validators)) validators
+
+let member_count t = member_count_shallow t
+
+let rec all_validators_acc t acc =
+  let acc = List.fold_left (fun acc v -> v :: acc) acc t.validators in
+  List.fold_left (fun acc q -> all_validators_acc q acc) acc t.inner
+
+let all_validators t = List.sort_uniq String.compare (all_validators_acc t [])
+
+let rec is_sane_depth depth t =
+  depth <= 4
+  && t.threshold >= 1
+  && t.threshold <= member_count_shallow t
+  && member_count_shallow t >= 1
+  && List.for_all (is_sane_depth (depth + 1)) t.inner
+
+let is_sane t =
+  let vals = all_validators_acc t [] in
+  List.length (List.sort_uniq String.compare vals) = List.length vals
+  && is_sane_depth 0 t
+
+let rec is_quorum_slice t in_set =
+  let hits =
+    List.length (List.filter in_set t.validators)
+    + List.length (List.filter (fun q -> is_quorum_slice q in_set) t.inner)
+  in
+  hits >= t.threshold
+
+(* A set blocks [t] iff fewer than [threshold] entries remain unblocked:
+   then no slice can avoid the set. *)
+let rec is_v_blocking t in_set =
+  let unblocked =
+    List.length (List.filter (fun v -> not (in_set v)) t.validators)
+    + List.length (List.filter (fun q -> not (is_v_blocking q in_set)) t.inner)
+  in
+  unblocked < t.threshold
+
+let rec weight t node =
+  let n = member_count_shallow t in
+  let direct = float_of_int t.threshold /. float_of_int n in
+  if List.exists (String.equal node) t.validators then direct
+  else
+    (* take the maximum over inner sets containing the node *)
+    List.fold_left
+      (fun acc q ->
+        let w = weight q node in
+        if w > 0.0 then Float.max acc (direct *. w) else acc)
+      0.0 t.inner
+
+let rec encode_into buf t =
+  Buffer.add_char buf 'Q';
+  Buffer.add_int32_be buf (Int32.of_int t.threshold);
+  Buffer.add_int32_be buf (Int32.of_int (List.length t.validators));
+  List.iter
+    (fun v ->
+      Buffer.add_int32_be buf (Int32.of_int (String.length v));
+      Buffer.add_string buf v)
+    t.validators;
+  Buffer.add_int32_be buf (Int32.of_int (List.length t.inner));
+  List.iter (encode_into buf) t.inner
+
+let encode t =
+  let buf = Buffer.create 128 in
+  encode_into buf t;
+  Buffer.contents buf
+
+let hash t = Stellar_crypto.Sha256.digest (encode t)
+
+let rec pp ~names fmt t =
+  Format.fprintf fmt "@[<hov 2>%d-of-{%a%s%a}@]" t.threshold
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+       (fun f v -> Format.pp_print_string f (names v)))
+    t.validators
+    (if t.validators <> [] && t.inner <> [] then ", " else "")
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+       (pp ~names))
+    t.inner

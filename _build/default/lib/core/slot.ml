@@ -1,0 +1,71 @@
+type t = {
+  index : int;
+  local_id : Types.node_id;
+  driver : Driver.t;
+  nomination : Nomination.t;
+  ballot : Ballot.t;
+}
+
+let create ~index ~local_id ~get_qset ~driver =
+  let ballot = Ballot.create ~slot:index ~local_id ~get_qset ~driver in
+  let nomination =
+    Nomination.create ~slot:index ~local_id ~get_qset ~driver
+      ~on_candidates:(fun composite ->
+        Ballot.on_nomination_composite ballot composite;
+        ignore (Ballot.bump ballot ~value:composite ~force:false))
+  in
+  { index; local_id; driver; nomination; ballot }
+
+let index t = t.index
+
+(* Nomination stops once balloting reaches the commit phase (the composite
+   can no longer influence this slot). *)
+let sync_nomination t =
+  if Ballot.phase t.ballot <> Ballot.Prepare_phase then Nomination.stop t.nomination
+
+let nominate t ~value ~prev =
+  if Ballot.phase t.ballot = Ballot.Prepare_phase then begin
+    Nomination.nominate t.nomination ~value ~prev;
+    sync_nomination t
+  end
+
+let process_envelope t env =
+  let st = env.Types.statement in
+  if st.Types.slot <> t.index then `Invalid
+  else if String.equal st.Types.node_id t.local_id then `Stale
+  else if not (Quorum_set.is_sane st.Types.quorum_set) then `Invalid
+  else if
+    not
+      (t.driver.Driver.verify st.Types.node_id ~msg:(Types.statement_bytes st)
+         ~signature:env.Types.signature)
+  then `Invalid
+  else begin
+    let result =
+      match st.Types.pledge with
+      | Types.Nominate _ -> Nomination.process_envelope t.nomination env
+      | _ -> Ballot.process_envelope t.ballot env
+    in
+    sync_nomination t;
+    result
+  end
+
+let phase t = Ballot.phase t.ballot
+let externalized_value t = Ballot.externalized_value t.ballot
+
+let ballot_counter t =
+  match Ballot.current_ballot t.ballot with Some b -> b.Types.counter | None -> 0
+
+let nomination_round t = Nomination.round t.nomination
+let heard_from_quorum t = Ballot.heard_from_quorum t.ballot
+
+let latest_statements t =
+  Nomination.latest_statements t.nomination @ Ballot.latest_statements t.ballot
+
+let latest_envelopes t =
+  (* ballot envelopes first: an EXTERNALIZE is what completes a straggler *)
+  Ballot.latest_envelopes t.ballot @ Nomination.latest_envelopes t.nomination
+
+let reevaluate t =
+  Nomination.reevaluate t.nomination;
+  Ballot.reevaluate t.ballot;
+  sync_nomination t

@@ -1,0 +1,138 @@
+type node_id = Quorum_set.node_id
+type value = string
+
+type ballot = { counter : int; value : value }
+
+module Ballot = struct
+  let max_counter = max_int
+
+  let compare a b =
+    let c = Int.compare a.counter b.counter in
+    if c <> 0 then c else String.compare a.value b.value
+
+  let equal a b = compare a b = 0
+  let compatible a b = String.equal a.value b.value
+  let less_and_compatible a b = compare a b <= 0 && compatible a b
+  let less_and_incompatible a b = compare a b <= 0 && not (compatible a b)
+
+  let pp fmt b =
+    let v =
+      if String.length b.value >= 4 then Stellar_crypto.Hex.encode (String.sub b.value 0 4)
+      else Stellar_crypto.Hex.encode b.value
+    in
+    if b.counter = max_counter then Format.fprintf fmt "<inf,%s>" v
+    else Format.fprintf fmt "<%d,%s>" b.counter v
+end
+
+type nomination = { votes : value list; accepted : value list }
+
+type prepare = {
+  ballot : ballot;
+  prepared : ballot option;
+  prepared_prime : ballot option;
+  n_c : int;
+  n_h : int;
+}
+
+type confirm = { ballot : ballot; n_prepared : int; n_commit : int; n_h : int }
+
+type externalize = { commit : ballot; n_h : int }
+
+type pledge =
+  | Nominate of nomination
+  | Prepare of prepare
+  | Confirm of confirm
+  | Externalize of externalize
+
+type statement = {
+  node_id : node_id;
+  slot : int;
+  quorum_set : Quorum_set.t;
+  pledge : pledge;
+}
+
+type envelope = { statement : statement; signature : string }
+
+let add_string buf s =
+  Buffer.add_int32_be buf (Int32.of_int (String.length s));
+  Buffer.add_string buf s
+
+let add_int buf n = Buffer.add_int64_be buf (Int64.of_int n)
+
+let add_ballot buf b =
+  add_int buf b.counter;
+  add_string buf b.value
+
+let add_ballot_opt buf = function
+  | None -> Buffer.add_char buf '\000'
+  | Some b ->
+      Buffer.add_char buf '\001';
+      add_ballot buf b
+
+let statement_bytes st =
+  let buf = Buffer.create 256 in
+  add_string buf st.node_id;
+  add_int buf st.slot;
+  Buffer.add_string buf (Quorum_set.encode st.quorum_set);
+  (match st.pledge with
+  | Nominate n ->
+      Buffer.add_char buf 'N';
+      add_int buf (List.length n.votes);
+      List.iter (add_string buf) n.votes;
+      add_int buf (List.length n.accepted);
+      List.iter (add_string buf) n.accepted
+  | Prepare p ->
+      Buffer.add_char buf 'P';
+      add_ballot buf p.ballot;
+      add_ballot_opt buf p.prepared;
+      add_ballot_opt buf p.prepared_prime;
+      add_int buf p.n_c;
+      add_int buf p.n_h
+  | Confirm c ->
+      Buffer.add_char buf 'C';
+      add_ballot buf c.ballot;
+      add_int buf c.n_prepared;
+      add_int buf c.n_commit;
+      add_int buf c.n_h
+  | Externalize e ->
+      Buffer.add_char buf 'X';
+      add_ballot buf e.commit;
+      add_int buf e.n_h);
+  Buffer.contents buf
+
+let envelope_size env = String.length (statement_bytes env.statement) + String.length env.signature
+
+let pledge_kind = function
+  | Nominate _ -> "nominate"
+  | Prepare _ -> "prepare"
+  | Confirm _ -> "confirm"
+  | Externalize _ -> "externalize"
+
+let statement_ballot_counter st =
+  match st.pledge with
+  | Nominate _ -> None
+  | Prepare p -> Some p.ballot.counter
+  | Confirm c -> Some c.ballot.counter
+  | Externalize _ -> Some Ballot.max_counter
+
+let pp_statement fmt st =
+  let short id =
+    Stellar_crypto.Hex.encode (String.sub id 0 (min 4 (String.length id)))
+  in
+  match st.pledge with
+  | Nominate n ->
+      Format.fprintf fmt "[%s slot=%d NOMINATE votes=%d accepted=%d]" (short st.node_id)
+        st.slot (List.length n.votes) (List.length n.accepted)
+  | Prepare p ->
+      Format.fprintf fmt "[%s slot=%d PREPARE b=%a p=%a p'=%a c=%d h=%d]" (short st.node_id)
+        st.slot Ballot.pp p.ballot
+        (Format.pp_print_option Ballot.pp)
+        p.prepared
+        (Format.pp_print_option Ballot.pp)
+        p.prepared_prime p.n_c p.n_h
+  | Confirm c ->
+      Format.fprintf fmt "[%s slot=%d CONFIRM b=%a p=%d c=%d h=%d]" (short st.node_id)
+        st.slot Ballot.pp c.ballot c.n_prepared c.n_commit c.n_h
+  | Externalize e ->
+      Format.fprintf fmt "[%s slot=%d EXTERNALIZE c=%a h=%d]" (short st.node_id) st.slot
+        Ballot.pp e.commit e.n_h

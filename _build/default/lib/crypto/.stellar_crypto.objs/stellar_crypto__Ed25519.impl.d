@@ -1,0 +1,1 @@
+lib/crypto/ed25519.ml: Bytes Char Nat Sha512 String

@@ -1,0 +1,1 @@
+lib/crypto/nat.ml: Array Buffer Bytes Char Format Printf Stdlib String

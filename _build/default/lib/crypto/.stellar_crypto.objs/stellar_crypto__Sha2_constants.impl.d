@@ -1,0 +1,1 @@
+lib/crypto/sha2_constants.ml: Array Char Int64 List Nat String

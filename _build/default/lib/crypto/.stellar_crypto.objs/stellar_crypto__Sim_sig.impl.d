@@ -1,0 +1,1 @@
+lib/crypto/sim_sig.ml: Hashtbl Hmac Sha256 String

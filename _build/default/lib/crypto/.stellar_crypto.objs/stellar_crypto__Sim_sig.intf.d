@@ -1,0 +1,1 @@
+lib/crypto/sim_sig.mli: Sig_intf

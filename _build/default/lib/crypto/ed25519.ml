@@ -1,0 +1,173 @@
+let name = "ed25519"
+
+type secret = string
+
+(* ---- Field arithmetic modulo p = 2^255 - 19 ---- *)
+
+let p = Nat.sub (Nat.shift_left Nat.one 255) (Nat.of_int 19)
+
+module Fe = struct
+  let reduce a = Nat.rem a p
+  let add a b = reduce (Nat.add a b)
+  let sub a b = reduce (Nat.add a (Nat.sub p (reduce b)))
+  let mul a b = reduce (Nat.mul a b)
+  let pow a e = Nat.modpow a e p
+  let inv a = pow a (Nat.sub p (Nat.of_int 2))
+  let equal = Nat.equal
+  let is_odd a = Nat.testbit a 0
+end
+
+(* Curve constant d = -121665 / 121666 mod p. *)
+let d = Fe.mul (Fe.sub Nat.zero (Nat.of_int 121665)) (Fe.inv (Nat.of_int 121666))
+
+(* Group order L = 2^252 + 27742317777372353535851937790883648493. *)
+let group_order =
+  Nat.add (Nat.shift_left Nat.one 252)
+    (Nat.of_hex "14def9dea2f79cd65812631a5cf5d3ed")
+
+(* sqrt(-1) = 2^((p-1)/4) mod p, used in square-root extraction. *)
+let sqrt_m1 = Fe.pow (Nat.of_int 2) (Nat.div (Nat.sub p Nat.one) (Nat.of_int 4))
+
+(* ---- Points in extended homogeneous coordinates (X, Y, Z, T),
+        with x = X/Z, y = Y/Z, x*y = T/Z. ---- *)
+
+type point = { x : Nat.t; y : Nat.t; z : Nat.t; t : Nat.t }
+
+let identity = { x = Nat.zero; y = Nat.one; z = Nat.one; t = Nat.zero }
+
+let point_add p1 p2 =
+  let open Fe in
+  let a = mul (sub p1.y p1.x) (sub p2.y p2.x) in
+  let b = mul (add p1.y p1.x) (add p2.y p2.x) in
+  let c = mul p1.t (mul (add d d) p2.t) in
+  let dd = mul p1.z (add p2.z p2.z) in
+  let e = sub b a in
+  let f = sub dd c in
+  let g = add dd c in
+  let h = add b a in
+  { x = mul e f; y = mul g h; z = mul f g; t = mul e h }
+
+let point_double p1 =
+  let open Fe in
+  let a = mul p1.x p1.x in
+  let b = mul p1.y p1.y in
+  let c =
+    let z2 = mul p1.z p1.z in
+    add z2 z2
+  in
+  let h = add a b in
+  let e =
+    let xy = add p1.x p1.y in
+    sub h (mul xy xy)
+  in
+  let g = sub a b in
+  let f = add c g in
+  { x = mul e f; y = mul g h; z = mul f g; t = mul e h }
+
+let scalar_mult s pt =
+  let r = ref identity in
+  for i = Nat.bit_length s - 1 downto 0 do
+    r := point_double !r;
+    if Nat.testbit s i then r := point_add !r pt
+  done;
+  !r
+
+let point_equal p1 p2 =
+  (* x1/z1 = x2/z2 and y1/z1 = y2/z2 *)
+  Fe.equal (Fe.mul p1.x p2.z) (Fe.mul p2.x p1.z)
+  && Fe.equal (Fe.mul p1.y p2.z) (Fe.mul p2.y p1.z)
+
+(* Recover the x-coordinate from y and a sign bit (RFC 8032, 5.1.3). *)
+let recover_x y sign =
+  if Nat.compare y p >= 0 then None
+  else begin
+    let open Fe in
+    let y2 = mul y y in
+    let x2 = mul (sub y2 Nat.one) (inv (add (mul d y2) Nat.one)) in
+    if Nat.is_zero x2 then (if sign then None else Some Nat.zero)
+    else begin
+      let x = pow x2 (Nat.div (Nat.add p (Nat.of_int 3)) (Nat.of_int 8)) in
+      let x = if equal (mul x x) x2 then x else mul x sqrt_m1 in
+      if not (equal (mul x x) x2) then None
+      else begin
+        let x = if is_odd x <> sign then Nat.sub p x else x in
+        if Nat.is_zero x && sign then None else Some x
+      end
+    end
+  end
+
+let encode_point pt =
+  let zinv = Fe.inv pt.z in
+  let x = Fe.mul pt.x zinv in
+  let y = Fe.mul pt.y zinv in
+  let bytes = Bytes.of_string (Nat.to_bytes_le y ~len:32) in
+  if Fe.is_odd x then
+    Bytes.set bytes 31 (Char.chr (Char.code (Bytes.get bytes 31) lor 0x80));
+  Bytes.to_string bytes
+
+let decode_point s =
+  if String.length s <> 32 then None
+  else begin
+    let sign = Char.code s.[31] land 0x80 <> 0 in
+    let y_bytes = Bytes.of_string s in
+    Bytes.set y_bytes 31 (Char.chr (Char.code s.[31] land 0x7F));
+    let y = Nat.of_bytes_le (Bytes.to_string y_bytes) in
+    match recover_x y sign with
+    | None -> None
+    | Some x -> Some { x; y; z = Nat.one; t = Fe.mul x y }
+  end
+
+(* Base point: y = 4/5 mod p, even x. *)
+let base_point =
+  let y = Fe.mul (Nat.of_int 4) (Fe.inv (Nat.of_int 5)) in
+  match recover_x y false with
+  | Some x -> { x; y; z = Nat.one; t = Fe.mul x y }
+  | None -> assert false
+
+(* ---- EdDSA ---- *)
+
+let clamp h =
+  let b = Bytes.of_string (String.sub h 0 32) in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land 0xF8));
+  Bytes.set b 31 (Char.chr (Char.code (Bytes.get b 31) land 0x7F lor 0x40));
+  Nat.of_bytes_le (Bytes.to_string b)
+
+let expand seed =
+  if String.length seed <> 32 then invalid_arg "Ed25519: seed must be 32 bytes";
+  let h = Sha512.digest seed in
+  (clamp h, String.sub h 32 32)
+
+let public_of_secret seed =
+  let a, _prefix = expand seed in
+  encode_point (scalar_mult a base_point)
+
+let keypair ~seed = (seed, public_of_secret seed)
+
+let reduce_scalar h = Nat.rem (Nat.of_bytes_le h) group_order
+
+let sign seed msg =
+  let a, prefix = expand seed in
+  let public = encode_point (scalar_mult a base_point) in
+  let r = reduce_scalar (Sha512.digest_list [ prefix; msg ]) in
+  let r_enc = encode_point (scalar_mult r base_point) in
+  let k = reduce_scalar (Sha512.digest_list [ r_enc; public; msg ]) in
+  let s = Nat.rem (Nat.add r (Nat.mul k a)) group_order in
+  r_enc ^ Nat.to_bytes_le s ~len:32
+
+let verify ~public ~msg ~signature =
+  if String.length signature <> 64 then false
+  else
+    match (decode_point public, decode_point (String.sub signature 0 32)) with
+    | None, _ | _, None -> false
+    | Some a, Some r ->
+        let s = Nat.of_bytes_le (String.sub signature 32 32) in
+        if Nat.compare s group_order >= 0 then false
+        else begin
+          let k =
+            reduce_scalar
+              (Sha512.digest_list [ String.sub signature 0 32; public; msg ])
+          in
+          let lhs = scalar_mult s base_point in
+          let rhs = point_add r (scalar_mult k a) in
+          point_equal lhs rhs
+        end

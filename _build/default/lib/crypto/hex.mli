@@ -1,0 +1,7 @@
+(** Hexadecimal encoding of byte strings. *)
+
+val encode : string -> string
+(** Lowercase hex of every byte. *)
+
+val decode : string -> string
+(** Inverse of {!encode}. @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,6 @@
+(** HMAC-SHA256 (RFC 2104), used for deterministic key/nonce derivation. *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte MAC. *)
+
+val hex : key:string -> string -> string

@@ -1,0 +1,130 @@
+(* Word arithmetic is done in native ints masked to 32 bits, which is both
+   simpler and faster than boxed [Int32] on a 64-bit host. *)
+
+let digest_size = 32
+let mask32 = 0xFFFFFFFF
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+
+type ctx = {
+  h : int array; (* 8 words of chaining state *)
+  buf : Bytes.t; (* 64-byte block buffer *)
+  mutable buf_len : int;
+  mutable total : int; (* bytes processed so far *)
+  w : int array; (* message schedule scratch *)
+}
+
+let init () =
+  {
+    h = Array.copy Sha2_constants.sha256_h;
+    buf = Bytes.create 64;
+    buf_len = 0;
+    total = 0;
+    w = Array.make 64 0;
+  }
+
+let k = Sha2_constants.sha256_k
+
+(* Compress one 64-byte block starting at [off] in [block]. *)
+let compress ctx block off =
+  let w = ctx.w in
+  for t = 0 to 15 do
+    let i = off + (4 * t) in
+    w.(t) <-
+      (Char.code (Bytes.get block i) lsl 24)
+      lor (Char.code (Bytes.get block (i + 1)) lsl 16)
+      lor (Char.code (Bytes.get block (i + 2)) lsl 8)
+      lor Char.code (Bytes.get block (i + 3))
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
+    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
+    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask32
+  done;
+  let h = ctx.h in
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask32 in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask32 in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask32;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (t1 + t2) land mask32
+  done;
+  h.(0) <- (h.(0) + !a) land mask32;
+  h.(1) <- (h.(1) + !b) land mask32;
+  h.(2) <- (h.(2) + !c) land mask32;
+  h.(3) <- (h.(3) + !d) land mask32;
+  h.(4) <- (h.(4) + !e) land mask32;
+  h.(5) <- (h.(5) + !f) land mask32;
+  h.(6) <- (h.(6) + !g) land mask32;
+  h.(7) <- (h.(7) + !hh) land mask32
+
+let update ctx s =
+  let len = String.length s in
+  ctx.total <- ctx.total + len;
+  let pos = ref 0 in
+  (* Top up a partially filled buffer first. *)
+  if ctx.buf_len > 0 then begin
+    let need = 64 - ctx.buf_len in
+    let take = min need len in
+    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := take;
+    if ctx.buf_len = 64 then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  let block = Bytes.create 64 in
+  while len - !pos >= 64 do
+    Bytes.blit_string s !pos block 0 64;
+    compress ctx block 0;
+    pos := !pos + 64
+  done;
+  if !pos < len then begin
+    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+    ctx.buf_len <- len - !pos
+  end
+
+let final ctx =
+  let bits = ctx.total * 8 in
+  update ctx "\x80";
+  (* Pad with zeros until 8 bytes remain in the block. *)
+  let zeros = (64 + 56 - ctx.buf_len) mod 64 in
+  update ctx (String.make zeros '\000');
+  let len_bytes = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set len_bytes i (Char.chr ((bits lsr (8 * (7 - i))) land 0xFF))
+  done;
+  update ctx (Bytes.to_string len_bytes);
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = ctx.h.(i) in
+    Bytes.set out (4 * i) (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr (v land 0xFF))
+  done;
+  Bytes.to_string out
+
+let digest s =
+  let ctx = init () in
+  update ctx s;
+  final ctx
+
+let digest_list parts =
+  let ctx = init () in
+  List.iter (update ctx) parts;
+  final ctx
+
+let hex s = Hex.encode (digest s)

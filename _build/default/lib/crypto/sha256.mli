@@ -1,0 +1,23 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch for the sealed build
+    environment.  Digests are 32-byte binary strings. *)
+
+type ctx
+(** Incremental hashing context (mutable). *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val final : ctx -> string
+(** [final ctx] returns the 32-byte digest.  The context must not be used
+    afterwards. *)
+
+val digest : string -> string
+(** One-shot hash. *)
+
+val digest_list : string list -> string
+(** Hash of the concatenation, without materializing it. *)
+
+val hex : string -> string
+(** [hex msg] is the lowercase hex digest of [msg]. *)
+
+val digest_size : int
+(** 32. *)

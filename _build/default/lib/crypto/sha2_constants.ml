@@ -1,0 +1,50 @@
+(* The SHA-2 round constants are the fractional parts of the square roots
+   (initial state) and cube roots (round keys) of the first primes.  Rather
+   than transcribe 100+ magic numbers, we derive them with exact integer
+   arithmetic; the NIST test vectors in the test suite validate the result. *)
+
+let first_primes n =
+  let rec go primes candidate =
+    if List.length primes = n then List.rev primes
+    else
+      let is_prime = List.for_all (fun p -> candidate mod p <> 0) primes in
+      if is_prime && candidate > 1 then go (candidate :: primes) (candidate + 1)
+      else go primes (candidate + 1)
+  in
+  go [] 2
+
+(* floor(root(p) * 2^bits) mod 2^bits, i.e. the top [bits] bits of the
+   fractional part of the real root. *)
+let frac_root ~cube ~bits p =
+  let n = Nat.of_int p in
+  let scaled =
+    if cube then Nat.icbrt (Nat.shift_left n (3 * bits))
+    else Nat.isqrt (Nat.shift_left n (2 * bits))
+  in
+  Nat.rem scaled (Nat.shift_left Nat.one bits)
+
+let nat_to_int64 n =
+  let bytes = Nat.to_bytes_be n ~len:8 in
+  let r = ref 0L in
+  String.iter (fun c -> r := Int64.logor (Int64.shift_left !r 8) (Int64.of_int (Char.code c))) bytes;
+  !r
+
+let sha256_h : int array =
+  first_primes 8
+  |> List.map (fun p -> Nat.to_int (frac_root ~cube:false ~bits:32 p))
+  |> Array.of_list
+
+let sha256_k : int array =
+  first_primes 64
+  |> List.map (fun p -> Nat.to_int (frac_root ~cube:true ~bits:32 p))
+  |> Array.of_list
+
+let sha512_h : int64 array =
+  first_primes 8
+  |> List.map (fun p -> nat_to_int64 (frac_root ~cube:false ~bits:64 p))
+  |> Array.of_list
+
+let sha512_k : int64 array =
+  first_primes 80
+  |> List.map (fun p -> nat_to_int64 (frac_root ~cube:true ~bits:64 p))
+  |> Array.of_list

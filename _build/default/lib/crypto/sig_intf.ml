@@ -1,0 +1,18 @@
+(** Common interface implemented by the real ({!Ed25519}) and simulated
+    ({!Sim_sig}) signature schemes, so that validators can be instantiated
+    with either. *)
+
+module type SCHEME = sig
+  val name : string
+
+  type secret
+
+  val keypair : seed:string -> secret * string
+  (** [keypair ~seed] derives a deterministic key pair from a 32-byte seed.
+      The public key is a 32-byte binary string. *)
+
+  val sign : secret -> string -> string
+  (** Detached signature over a message. *)
+
+  val verify : public:string -> msg:string -> signature:string -> bool
+end

@@ -1,0 +1,1 @@
+lib/herder/herder.ml: Apply Float Format Hashtbl Header Int Lazy List Option Scp State Stellar_bucket Stellar_crypto Stellar_ledger String Sys Tx Tx_queue Tx_set Value

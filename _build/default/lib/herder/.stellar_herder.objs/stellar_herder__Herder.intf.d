@@ -1,0 +1,1 @@
+lib/herder/herder.mli: Scp Stellar_bucket Stellar_ledger Tx_set Value

@@ -1,0 +1,1 @@
+lib/herder/tx_queue.ml: Entry Hashtbl Int List State Stellar_ledger String Tx

@@ -1,0 +1,1 @@
+lib/herder/tx_queue.mli: Stellar_ledger

@@ -1,0 +1,1 @@
+lib/herder/tx_set.ml: List Stellar_crypto Stellar_ledger String Tx

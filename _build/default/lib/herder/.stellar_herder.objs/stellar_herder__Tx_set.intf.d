@@ -1,0 +1,1 @@
+lib/herder/tx_set.mli: Stellar_ledger

@@ -1,0 +1,1 @@
+lib/herder/value.ml: Buffer Char Format Hashtbl Int Int32 Int64 List Stellar_crypto Stellar_ledger String Tx_set

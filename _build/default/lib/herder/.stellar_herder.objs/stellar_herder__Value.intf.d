@@ -1,0 +1,1 @@
+lib/herder/value.mli: Format Stellar_ledger Tx_set

@@ -1,0 +1,379 @@
+open Stellar_ledger
+
+type ledger_stats = {
+  seq : int;
+  close_time : int;
+  tx_count : int;
+  op_count : int;
+  nomination_s : float;
+  balloting_s : float;
+  apply_s : float;
+  total_s : float;
+  header : Header.t;
+}
+
+type callbacks = {
+  broadcast_envelope : Scp.Types.envelope -> unit;
+  broadcast_tx_set : Tx_set.t -> unit;
+  broadcast_tx : Tx.signed -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit -> unit;
+  now : unit -> float;
+  on_ledger_closed : ledger_stats -> unit;
+  on_timeout : kind:[ `Nomination | `Ballot ] -> unit;
+}
+
+type config = {
+  seed : string;
+  qset : Scp.Quorum_set.t;
+  is_validator : bool;
+  is_governing : bool;
+  desired_upgrades : Value.upgrade list;
+  ledger_interval : float;
+  max_ops_per_ledger : int;
+}
+
+let default_config ~seed ~qset =
+  {
+    seed;
+    qset;
+    is_validator = true;
+    is_governing = false;
+    desired_upgrades = [];
+    ledger_interval = 5.0;
+    max_ops_per_ledger = 10_000;
+  }
+
+(* Per-slot timing for the latency metrics of §7.3. *)
+type slot_timing = {
+  mutable t_trigger : float;
+  mutable t_first_ballot : float option;
+  mutable externalized : bool;
+}
+
+type t = {
+  config : config;
+  cb : callbacks;
+  secret : Stellar_crypto.Sim_sig.secret;
+  id : Scp.Types.node_id;
+  scp : Scp.Protocol.t;
+  queue : Tx_queue.t;
+  tx_sets : (string, Tx_set.t) Hashtbl.t;
+  pending_envs : (string, Scp.Types.envelope list ref) Hashtbl.t;
+      (* envelopes waiting for a tx set, keyed by tx-set hash *)
+  timings : (int, slot_timing) Hashtbl.t;
+  mutable state : State.t;
+  mutable buckets : Stellar_bucket.Bucket_list.t;
+  mutable headers : Header.t list;
+  mutable pending_apply : (int * Value.t) list;  (* externalized, tx set missing *)
+  mutable running : bool;
+  mutable trigger_cancel : (unit -> unit) option;
+  mutable last_trigger : float;
+}
+
+let node_id t = t.id
+let state t = t.state
+let buckets t = t.buckets
+let headers t = t.headers
+let last_header t = match t.headers with h :: _ -> Some h | [] -> None
+let ledger_seq t = State.ledger_seq t.state
+let queue_size t = Tx_queue.size t.queue
+let tx_set t h = Hashtbl.find_opt t.tx_sets h
+let set_quorum_set t q = Scp.Protocol.set_quorum_set t.scp q
+
+let timing t slot =
+  match Hashtbl.find_opt t.timings slot with
+  | Some x -> x
+  | None ->
+      let x = { t_trigger = t.cb.now (); t_first_ballot = None; externalized = false } in
+      Hashtbl.add t.timings slot x;
+      x
+
+let prev_header_hash t =
+  match t.headers with h :: _ -> Header.hash h | [] -> Header.genesis_hash
+
+(* ---- value validation & combination (§5.3) ---- *)
+
+let validate_value t ~slot raw =
+  match Value.decode raw with
+  | None -> Scp.Driver.Invalid
+  | Some v ->
+      if not (List.for_all Value.valid_upgrade v.Value.upgrades) then Scp.Driver.Invalid
+      else if slot = State.ledger_seq t.state + 1 then begin
+        (* we are in sync with this slot: check fully *)
+        let close_ok =
+          v.Value.close_time > State.close_time t.state
+          && float_of_int v.Value.close_time <= t.cb.now () +. 60.0
+        in
+        match Hashtbl.find_opt t.tx_sets v.Value.tx_set_hash with
+        | Some ts when close_ok ->
+            if String.equal (Tx_set.prev_header_hash ts) (prev_header_hash t) then
+              Scp.Driver.Valid
+            else Scp.Driver.Invalid
+        | _ -> Scp.Driver.Invalid
+      end
+      else Scp.Driver.Valid (* not tracking this slot closely *)
+
+let combine_candidates t ~slot:_ raws =
+  let values = List.filter_map Value.decode raws in
+  match Value.combine_with ~lookup:(fun h -> Hashtbl.find_opt t.tx_sets h) values with
+  | Some v -> Some (Value.encode v)
+  | None -> None
+
+(* ---- ledger close ---- *)
+
+let results_hash results =
+  let ctx = Stellar_crypto.Sha256.init () in
+  List.iter
+    (fun (signed, outcome) ->
+      Stellar_crypto.Sha256.update ctx (Tx.hash signed.Tx.tx);
+      Stellar_crypto.Sha256.update ctx (Format.asprintf "%a" Apply.pp_tx_outcome outcome))
+    results;
+  Stellar_crypto.Sha256.final ctx
+
+let rec close_ledger t slot (v : Value.t) =
+  match Hashtbl.find_opt t.tx_sets v.Value.tx_set_hash with
+  | None ->
+      (* confirmed by the network but we lack the data: wait for the set *)
+      t.pending_apply <- (slot, v) :: t.pending_apply
+  | Some ts ->
+      let cpu0 = Sys.time () in
+      let txs = Tx_set.txs ts in
+      let state', results = Apply.apply_tx_set Apply.sim_ctx t.state ~close_time:v.Value.close_time txs in
+      let state' = Value.apply_upgrades state' v.Value.upgrades in
+      (* fold this ledger's changes into the bucket list *)
+      let state', dirty = State.take_dirty state' in
+      let batch =
+        List.map
+          (fun key -> { Stellar_bucket.Bucket.key; entry = State.lookup state' key })
+          dirty
+      in
+      let buckets' = Stellar_bucket.Bucket_list.add_batch t.buckets batch in
+      let header =
+        Header.make
+          ~prev:(last_header t)
+          ~scp_value_hash:(Value.hash v) ~tx_set_hash:v.Value.tx_set_hash
+          ~results_hash:(results_hash results)
+          ~snapshot_hash:(Stellar_bucket.Bucket_list.hash buckets')
+          ~state:state'
+      in
+      let apply_s = Sys.time () -. cpu0 in
+      t.state <- state';
+      t.buckets <- buckets';
+      t.headers <- header :: t.headers;
+      Tx_queue.remove_applied t.queue txs;
+      ignore (Tx_queue.purge_invalid t.queue ~state:t.state);
+      Scp.Protocol.purge_slots t.scp ~below:(slot - 32);
+      (* stats *)
+      let tm = timing t slot in
+      tm.externalized <- true;
+      let now = t.cb.now () in
+      let first_ballot = Option.value ~default:now tm.t_first_ballot in
+      t.cb.on_ledger_closed
+        {
+          seq = State.ledger_seq t.state;
+          close_time = v.Value.close_time;
+          tx_count = Tx_set.tx_count ts;
+          op_count = Tx_set.op_count ts;
+          nomination_s = Float.max 0.0 (first_ballot -. tm.t_trigger);
+          balloting_s = Float.max 0.0 (now -. first_ballot);
+          apply_s;
+          total_s = now -. tm.t_trigger;
+          header;
+        };
+      Hashtbl.remove t.timings slot;
+      (* schedule the next ledger to hold the 5-second cadence *)
+      (if t.running && t.config.is_validator then begin
+         let elapsed = now -. t.last_trigger in
+         let delay = Float.max 0.0 (t.config.ledger_interval -. elapsed) in
+         Option.iter (fun c -> c ()) t.trigger_cancel;
+         t.trigger_cancel <- Some (t.cb.schedule ~delay (fun () -> trigger_next_ledger t))
+       end);
+      (* cascade: while catching up, successor slots may already have
+         externalized values waiting *)
+      let next = State.ledger_seq t.state + 1 in
+      match List.assoc_opt next t.pending_apply with
+      | Some v when Hashtbl.mem t.tx_sets v.Value.tx_set_hash ->
+          t.pending_apply <- List.remove_assoc next t.pending_apply;
+          close_ledger t next v
+      | _ -> ()
+
+and trigger_next_ledger t =
+  if t.running && t.config.is_validator then begin
+    let slot = State.ledger_seq t.state + 1 in
+    t.last_trigger <- t.cb.now ();
+    let tm = timing t slot in
+    tm.t_trigger <- t.cb.now ();
+    (* build and flood our transaction-set candidate *)
+    let txs =
+      Tx_queue.candidates t.queue ~state:t.state ~max_ops:t.config.max_ops_per_ledger
+    in
+    let ts = Tx_set.make ~prev_header_hash:(prev_header_hash t) txs in
+    Hashtbl.replace t.tx_sets (Tx_set.hash ts) ts;
+    t.cb.broadcast_tx_set ts;
+    let close_time = max (int_of_float (t.cb.now ())) (State.close_time t.state + 1) in
+    let upgrades = if t.config.is_governing then t.config.desired_upgrades else [] in
+    let value = Value.{ tx_set_hash = Tx_set.hash ts; close_time; upgrades } in
+    let prev =
+      match last_header t with Some h -> Header.hash h | None -> Header.genesis_hash
+    in
+    Scp.Protocol.nominate t.scp ~slot ~value:(Value.encode value) ~prev
+  end
+
+(* ---- construction ---- *)
+
+let create config cb ~genesis ?buckets ?(headers = []) () =
+  let secret, id = Stellar_crypto.Sim_sig.keypair ~seed:config.seed in
+  let rec t =
+    lazy
+      (let driver =
+         Scp.Driver.make
+           ~emit_envelope:(fun env -> cb.broadcast_envelope env)
+           ~sign:(fun msg -> Stellar_crypto.Sim_sig.sign secret msg)
+           ~verify:(fun node_id ~msg ~signature ->
+             Stellar_crypto.Sim_sig.verify ~public:node_id ~msg ~signature)
+           ~validate_value:(fun ~slot raw -> validate_value (Lazy.force t) ~slot raw)
+           ~combine_candidates:(fun ~slot raws -> combine_candidates (Lazy.force t) ~slot raws)
+           ~value_externalized:(fun ~slot raw ->
+             let h = Lazy.force t in
+             match Value.decode raw with
+             | Some v ->
+                 let next = State.ledger_seq h.state + 1 in
+                 if slot = next then close_ledger h slot v
+                 else if slot > next && not (List.mem_assoc slot h.pending_apply) then
+                   (* we are behind: remember the decision until we get there *)
+                   h.pending_apply <- (slot, v) :: h.pending_apply
+             | None -> ())
+           ~schedule:(fun ~delay f -> cb.schedule ~delay f)
+           ~hooks:
+             {
+               Scp.Driver.on_nomination_round = (fun ~slot:_ ~round:_ -> ());
+               on_ballot_bump =
+                 (fun ~slot ~counter:_ ->
+                   let h = Lazy.force t in
+                   let tm = timing h slot in
+                   if tm.t_first_ballot = None then tm.t_first_ballot <- Some (cb.now ()));
+               on_timeout = (fun ~slot:_ ~kind -> cb.on_timeout ~kind);
+               on_phase_change = (fun ~slot:_ ~phase:_ -> ());
+             }
+           ()
+       in
+       {
+         config;
+         cb;
+         secret;
+         id;
+         scp = Scp.Protocol.create ~driver ~local_id:id ~qset:config.qset;
+         queue = Tx_queue.create ();
+         tx_sets = Hashtbl.create 64;
+         pending_envs = Hashtbl.create 16;
+         timings = Hashtbl.create 8;
+         state = genesis;
+         headers;
+         buckets =
+           (match buckets with
+           | Some b -> b
+           | None -> Stellar_bucket.Bucket_list.of_state genesis);
+         pending_apply = [];
+         running = false;
+         trigger_cancel = None;
+         last_trigger = 0.0;
+       })
+  in
+  Lazy.force t
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    if t.config.is_validator then
+      t.trigger_cancel <- Some (t.cb.schedule ~delay:0.0 (fun () -> trigger_next_ledger t))
+  end
+
+let stop t =
+  t.running <- false;
+  Option.iter (fun c -> c ()) t.trigger_cancel;
+  t.trigger_cancel <- None
+
+(* ---- ingress ---- *)
+
+let receive_tx t signed =
+  if Tx_queue.add t.queue signed then `New else `Duplicate
+
+let submit_tx t signed =
+  match receive_tx t signed with
+  | `New ->
+      t.cb.broadcast_tx signed;
+      `Queued
+  | `Duplicate -> `Duplicate
+
+(* Tx-set hashes referenced by a statement's values. *)
+let referenced_tx_sets st =
+  let values =
+    match st.Scp.Types.pledge with
+    | Scp.Types.Nominate n -> n.Scp.Types.votes @ n.Scp.Types.accepted
+    | Scp.Types.Prepare p -> [ p.Scp.Types.ballot.Scp.Types.value ]
+    | Scp.Types.Confirm c -> [ c.Scp.Types.ballot.Scp.Types.value ]
+    | Scp.Types.Externalize e -> [ e.Scp.Types.commit.Scp.Types.value ]
+  in
+  List.filter_map
+    (fun raw -> Option.map (fun v -> v.Value.tx_set_hash) (Value.decode raw))
+    values
+
+let rec receive_envelope t env =
+  let missing =
+    List.filter
+      (fun h -> not (Hashtbl.mem t.tx_sets h))
+      (referenced_tx_sets env.Scp.Types.statement)
+  in
+  match missing with
+  | [] -> ignore (Scp.Protocol.receive_envelope t.scp env)
+  | h :: _ ->
+      let q =
+        match Hashtbl.find_opt t.pending_envs h with
+        | Some q -> q
+        | None ->
+            let q = ref [] in
+            Hashtbl.replace t.pending_envs h q;
+            q
+      in
+      q := env :: !q
+
+and receive_tx_set t ts =
+  let h = Tx_set.hash ts in
+  if not (Hashtbl.mem t.tx_sets h) then begin
+    Hashtbl.replace t.tx_sets h ts;
+    (* wake buffered envelopes *)
+    (match Hashtbl.find_opt t.pending_envs h with
+    | Some q ->
+        let envs = List.rev !q in
+        Hashtbl.remove t.pending_envs h;
+        List.iter (receive_envelope t) envs
+    | None -> ());
+    (* and any externalized-but-unapplied value *)
+    let ready, waiting =
+      List.partition (fun (_, v) -> String.equal v.Value.tx_set_hash h) t.pending_apply
+    in
+    t.pending_apply <- waiting;
+    List.iter
+      (fun (slot, v) -> if slot = State.ledger_seq t.state + 1 then close_ledger t slot v)
+      (List.sort (fun (a, _) (b, _) -> Int.compare a b) ready)
+  end
+
+(* §6: help a peer finish an old slot after lost messages — the production
+   incident was caused by validators moving on without doing this. *)
+let help_straggler t ~slot =
+  if slot <= State.ledger_seq t.state then begin
+    let envs = Scp.Protocol.latest_envelopes t.scp ~slot in
+    let tx_sets =
+      List.filter_map
+        (fun env ->
+          match env.Scp.Types.statement.Scp.Types.pledge with
+          | Scp.Types.Externalize e -> (
+              match Value.decode e.Scp.Types.commit.Scp.Types.value with
+              | Some v -> Hashtbl.find_opt t.tx_sets v.Value.tx_set_hash
+              | None -> None)
+          | _ -> None)
+        envs
+    in
+    (envs, tx_sets)
+  end
+  else ([], [])

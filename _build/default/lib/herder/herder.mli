@@ -1,0 +1,91 @@
+(** The herder drives one validator's replicated state machine (§5): it
+    builds transaction sets from the pending queue, triggers SCP once per
+    ledger interval, validates and combines consensus values, and applies
+    externalized transaction sets to the ledger, the bucket list and the
+    header chain.
+
+    The herder is transport-agnostic: the node layer supplies callbacks for
+    flooding and timers (in the simulator or, in principle, a real
+    network). *)
+
+type ledger_stats = {
+  seq : int;
+  close_time : int;
+  tx_count : int;
+  op_count : int;
+  nomination_s : float;  (** virtual time: nomination start → first ballot *)
+  balloting_s : float;  (** virtual time: first ballot → externalize *)
+  apply_s : float;  (** real CPU time to apply the tx set + buckets *)
+  total_s : float;  (** virtual time: trigger → externalize *)
+  header : Stellar_ledger.Header.t;
+}
+
+type callbacks = {
+  broadcast_envelope : Scp.Types.envelope -> unit;
+  broadcast_tx_set : Tx_set.t -> unit;
+  broadcast_tx : Stellar_ledger.Tx.signed -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit -> unit;
+  now : unit -> float;
+  on_ledger_closed : ledger_stats -> unit;
+  on_timeout : kind:[ `Nomination | `Ballot ] -> unit;
+}
+
+type config = {
+  seed : string;  (** 32 bytes of key material *)
+  qset : Scp.Quorum_set.t;
+  is_validator : bool;
+  is_governing : bool;  (** participates in upgrade governance (§5.3) *)
+  desired_upgrades : Value.upgrade list;
+  ledger_interval : float;  (** the 5-second target *)
+  max_ops_per_ledger : int;
+}
+
+val default_config : seed:string -> qset:Scp.Quorum_set.t -> config
+
+type t
+
+val create :
+  config ->
+  callbacks ->
+  genesis:Stellar_ledger.State.t ->
+  ?buckets:Stellar_bucket.Bucket_list.t ->
+  ?headers:Stellar_ledger.Header.t list ->
+  unit ->
+  t
+(** [buckets] lets many simulated validators share one precomputed bucket
+    list for the same genesis instead of re-hashing it per node.
+    [headers] (most recent first) seeds the header chain when bootstrapping
+    from an archive checkpoint rather than from ledger 1 (§5.4). *)
+
+val node_id : t -> Scp.Types.node_id
+val state : t -> Stellar_ledger.State.t
+val buckets : t -> Stellar_bucket.Bucket_list.t
+val headers : t -> Stellar_ledger.Header.t list
+(** Most recent first. *)
+
+val last_header : t -> Stellar_ledger.Header.t option
+val ledger_seq : t -> int
+val queue_size : t -> int
+val set_quorum_set : t -> Scp.Quorum_set.t -> unit
+
+val start : t -> unit
+(** Begin triggering ledger closes every [ledger_interval]. *)
+
+val stop : t -> unit
+
+val submit_tx : t -> Stellar_ledger.Tx.signed -> [ `Queued | `Duplicate ]
+(** Local submission: queue and flood. *)
+
+val receive_tx : t -> Stellar_ledger.Tx.signed -> [ `New | `Duplicate ]
+val receive_tx_set : t -> Tx_set.t -> unit
+val receive_envelope : t -> Scp.Types.envelope -> unit
+(** Envelopes whose transaction sets have not arrived yet are buffered and
+    replayed when the set shows up. *)
+
+val tx_set : t -> string -> Tx_set.t option
+
+val help_straggler : t -> slot:int -> Scp.Types.envelope list * Tx_set.t list
+(** Envelopes (and the transaction sets their externalized values need) to
+    send a peer that is still working on an already-closed slot — the fix
+    for the §6 production incident where validators moved on without
+    helping stragglers finish the previous ledger. *)

@@ -1,0 +1,37 @@
+open Stellar_ledger
+
+type t = {
+  prev_header_hash : string;
+  txs : Tx.signed list;
+  hash : string;
+  op_count : int;
+  total_fees : int;
+  size_bytes : int;
+}
+
+let make ~prev_header_hash txs =
+  (* Canonical order: by hash, so identical sets have identical hashes. *)
+  let decorated =
+    List.map (fun s -> (Tx.hash s.Tx.tx, s)) txs
+    |> List.sort (fun (h1, _) (h2, _) -> String.compare h1 h2)
+  in
+  let txs = List.map snd decorated in
+  let ctx = Stellar_crypto.Sha256.init () in
+  Stellar_crypto.Sha256.update ctx prev_header_hash;
+  List.iter (fun (h, _) -> Stellar_crypto.Sha256.update ctx h) decorated;
+  {
+    prev_header_hash;
+    txs;
+    hash = Stellar_crypto.Sha256.final ctx;
+    op_count = List.fold_left (fun acc s -> acc + Tx.operation_count s.Tx.tx) 0 txs;
+    total_fees = List.fold_left (fun acc s -> acc + s.Tx.tx.Tx.fee) 0 txs;
+    size_bytes = List.fold_left (fun acc s -> acc + Tx.size s) 0 txs;
+  }
+
+let txs t = t.txs
+let hash t = t.hash
+let prev_header_hash t = t.prev_header_hash
+let op_count t = t.op_count
+let total_fees t = t.total_fees
+let size_bytes t = t.size_bytes
+let tx_count t = List.length t.txs

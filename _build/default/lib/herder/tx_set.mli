@@ -1,0 +1,16 @@
+(** A transaction set: the batch of transactions one ledger applies.  SCP
+    agrees only on its hash (§5.3); the set itself floods separately. *)
+
+type t
+
+val make : prev_header_hash:string -> Stellar_ledger.Tx.signed list -> t
+val txs : t -> Stellar_ledger.Tx.signed list
+val hash : t -> string
+(** Binds the transactions AND the previous ledger header (§5.3: "including
+    a hash of the previous ledger header"). *)
+
+val prev_header_hash : t -> string
+val op_count : t -> int
+val total_fees : t -> int
+val size_bytes : t -> int
+val tx_count : t -> int

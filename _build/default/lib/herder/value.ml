@@ -1,0 +1,161 @@
+type upgrade =
+  | Upgrade_base_fee of int
+  | Upgrade_base_reserve of int
+  | Upgrade_protocol_version of int
+
+type t = { tx_set_hash : string; close_time : int; upgrades : upgrade list }
+
+let upgrade_tag = function
+  | Upgrade_base_fee _ -> 0
+  | Upgrade_base_reserve _ -> 1
+  | Upgrade_protocol_version _ -> 2
+
+let upgrade_value = function
+  | Upgrade_base_fee v | Upgrade_base_reserve v | Upgrade_protocol_version v -> v
+
+let encode v =
+  let buf = Buffer.create 64 in
+  Buffer.add_int32_be buf (Int32.of_int (String.length v.tx_set_hash));
+  Buffer.add_string buf v.tx_set_hash;
+  Buffer.add_int64_be buf (Int64.of_int v.close_time);
+  let upgrades =
+    List.sort (fun a b -> Int.compare (upgrade_tag a) (upgrade_tag b)) v.upgrades
+  in
+  Buffer.add_int32_be buf (Int32.of_int (List.length upgrades));
+  List.iter
+    (fun u ->
+      Buffer.add_int32_be buf (Int32.of_int (upgrade_tag u));
+      Buffer.add_int64_be buf (Int64.of_int (upgrade_value u)))
+    upgrades;
+  Buffer.contents buf
+
+let decode s =
+  let pos = ref 0 in
+  let fail = ref false in
+  let need n = if !pos + n > String.length s then fail := true in
+  let read_int32 () =
+    need 4;
+    if !fail then 0
+    else begin
+      let v =
+        (Char.code s.[!pos] lsl 24)
+        lor (Char.code s.[!pos + 1] lsl 16)
+        lor (Char.code s.[!pos + 2] lsl 8)
+        lor Char.code s.[!pos + 3]
+      in
+      pos := !pos + 4;
+      v
+    end
+  in
+  let read_int64 () =
+    need 8;
+    if !fail then 0
+    else begin
+      let v = ref 0 in
+      for i = 0 to 7 do
+        v := (!v lsl 8) lor Char.code s.[!pos + i]
+      done;
+      pos := !pos + 8;
+      !v
+    end
+  in
+  let read_str n =
+    need n;
+    if !fail then ""
+    else begin
+      let v = String.sub s !pos n in
+      pos := !pos + n;
+      v
+    end
+  in
+  let hlen = read_int32 () in
+  let tx_set_hash = read_str hlen in
+  let close_time = read_int64 () in
+  let count = read_int32 () in
+  if !fail || count < 0 || count > 16 then None
+  else begin
+    let upgrades = ref [] in
+    for _ = 1 to count do
+      let tag = read_int32 () in
+      let v = read_int64 () in
+      let u =
+        match tag with
+        | 0 -> Some (Upgrade_base_fee v)
+        | 1 -> Some (Upgrade_base_reserve v)
+        | 2 -> Some (Upgrade_protocol_version v)
+        | _ -> None
+      in
+      match u with Some u -> upgrades := u :: !upgrades | None -> fail := true
+    done;
+    if !fail || !pos <> String.length s then None
+    else Some { tx_set_hash; close_time; upgrades = List.rev !upgrades }
+  end
+
+let hash v = Stellar_crypto.Sha256.digest (encode v)
+
+let merge_upgrades values =
+  (* Union; on conflicting values for the same parameter the higher wins
+     (§5.3: "higher fees and protocol version numbers supersede"). *)
+  let best = Hashtbl.create 4 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun u ->
+          let tag = upgrade_tag u in
+          match Hashtbl.find_opt best tag with
+          | Some u' when upgrade_value u' >= upgrade_value u -> ()
+          | _ -> Hashtbl.replace best tag u)
+        v.upgrades)
+    values;
+  Hashtbl.fold (fun _ u acc -> u :: acc) best []
+  |> List.sort (fun a b -> Int.compare (upgrade_tag a) (upgrade_tag b))
+
+let combine_with ~lookup values =
+  let known = List.filter (fun v -> lookup v.tx_set_hash <> None) values in
+  match known with
+  | [] -> None
+  | _ ->
+      let score v =
+        match lookup v.tx_set_hash with
+        | Some ts -> (Tx_set.op_count ts, Tx_set.total_fees ts, v.tx_set_hash)
+        | None -> (0, 0, v.tx_set_hash)
+      in
+      let best =
+        List.fold_left
+          (fun acc v -> if compare (score v) (score acc) > 0 then v else acc)
+          (List.hd known) (List.tl known)
+      in
+      let close_time = List.fold_left (fun acc v -> max acc v.close_time) 0 known in
+      Some { tx_set_hash = best.tx_set_hash; close_time; upgrades = merge_upgrades known }
+
+let combine values =
+  combine_with ~lookup:(fun _ -> None) values
+  |> fun r ->
+  match (r, values) with
+  | Some v, _ -> Some v
+  | None, [] -> None
+  | None, v :: rest ->
+      (* no lookup available: fall back to highest tx-set hash *)
+      let best = List.fold_left (fun a b -> if b.tx_set_hash > a.tx_set_hash then b else a) v rest in
+      let close_time = List.fold_left (fun acc v -> max acc v.close_time) 0 values in
+      Some { tx_set_hash = best.tx_set_hash; close_time; upgrades = merge_upgrades values }
+
+let valid_upgrade = function
+  | Upgrade_base_fee v -> v >= 1 && v <= 10_000
+  | Upgrade_base_reserve v -> v >= 1 && v <= 100_000_000
+  | Upgrade_protocol_version v -> v >= 1 && v <= 100
+
+let apply_upgrades state upgrades =
+  List.fold_left
+    (fun state u ->
+      match u with
+      | Upgrade_base_fee v -> Stellar_ledger.State.with_params ~base_fee:v state
+      | Upgrade_base_reserve v -> Stellar_ledger.State.with_params ~base_reserve:v state
+      | Upgrade_protocol_version v ->
+          Stellar_ledger.State.with_params ~protocol_version:v state)
+    state upgrades
+
+let pp fmt v =
+  Format.fprintf fmt "value{txset=%s close=%d upgrades=%d}"
+    (String.sub (Stellar_crypto.Hex.encode v.tx_set_hash) 0 8)
+    v.close_time (List.length v.upgrades)

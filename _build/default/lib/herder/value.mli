@@ -1,0 +1,32 @@
+(** The value SCP agrees on for each ledger (§5.3): a transaction-set hash,
+    a close time, and a set of upgrades, with the combination rules used
+    during nomination. *)
+
+type upgrade =
+  | Upgrade_base_fee of int
+  | Upgrade_base_reserve of int
+  | Upgrade_protocol_version of int
+
+type t = { tx_set_hash : string; close_time : int; upgrades : upgrade list }
+
+val encode : t -> string
+val decode : string -> t option
+val hash : t -> string
+
+val combine : t list -> t option
+(** §5.3: take the transaction set with the most operations (ties broken by
+    total fees, then by hash), the union of all upgrades (higher values
+    supersede), and the highest close time.  Needs the op/fee counts, so
+    callers pass a lookup. *)
+
+val combine_with :
+  lookup:(string -> Tx_set.t option) -> t list -> t option
+(** Full §5.3 combination; values whose tx set is unknown are skipped. *)
+
+val upgrade_tag : upgrade -> int
+val apply_upgrades : Stellar_ledger.State.t -> upgrade list -> Stellar_ledger.State.t
+
+val valid_upgrade : upgrade -> bool
+(** Sanity bounds a validator is willing to go along with. *)
+
+val pp : Format.formatter -> t -> unit

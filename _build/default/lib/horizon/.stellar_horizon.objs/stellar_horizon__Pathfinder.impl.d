@@ -1,0 +1,1 @@
+lib/horizon/pathfinder.ml: Asset Entry Exchange Int List State Stellar_ledger

@@ -1,0 +1,1 @@
+lib/horizon/pathfinder.mli: Stellar_ledger

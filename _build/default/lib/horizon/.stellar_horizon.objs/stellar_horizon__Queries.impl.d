@@ -1,0 +1,1 @@
+lib/horizon/queries.ml: Asset Entry Format List Price State Stellar_archive Stellar_crypto Stellar_ledger String

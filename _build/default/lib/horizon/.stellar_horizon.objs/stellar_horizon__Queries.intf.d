@@ -1,0 +1,1 @@
+lib/horizon/queries.mli: Format Stellar_archive Stellar_ledger

@@ -1,0 +1,1 @@
+lib/ledger/apply.ml: Asset Entry Exchange Format Fun Hashtbl Int List Option Result State Stellar_crypto String Tx

@@ -1,0 +1,1 @@
+lib/ledger/apply.mli: Format State Tx

@@ -1,0 +1,1 @@
+lib/ledger/asset.ml: Format Printf Stellar_crypto String

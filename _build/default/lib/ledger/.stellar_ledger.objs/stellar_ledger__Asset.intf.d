@@ -1,0 +1,1 @@
+lib/ledger/asset.mli: Format

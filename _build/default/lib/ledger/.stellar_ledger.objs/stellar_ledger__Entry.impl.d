@@ -1,0 +1,1 @@
+lib/ledger/entry.ml: Asset Buffer Format Int Int32 Int64 List Price Printf Stellar_crypto String

@@ -1,0 +1,1 @@
+lib/ledger/entry.mli: Asset Format Price

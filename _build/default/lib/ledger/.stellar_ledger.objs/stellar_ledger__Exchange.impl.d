@@ -1,0 +1,1 @@
+lib/ledger/exchange.ml: Asset Entry Option Price State String

@@ -1,0 +1,1 @@
+lib/ledger/exchange.mli: Asset Price State

@@ -1,0 +1,1 @@
+lib/ledger/header.ml: Buffer Format Int32 Int64 List Option State Stellar_crypto String

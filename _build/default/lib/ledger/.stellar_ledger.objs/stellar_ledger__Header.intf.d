@@ -1,0 +1,1 @@
+lib/ledger/header.mli: Format State

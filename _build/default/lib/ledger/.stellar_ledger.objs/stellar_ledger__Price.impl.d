@@ -1,0 +1,1 @@
+lib/ledger/price.ml: Format Int Option

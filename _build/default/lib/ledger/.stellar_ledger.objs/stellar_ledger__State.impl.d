@@ -1,0 +1,1 @@
+lib/ledger/state.ml: Asset Entry Format Hashtbl Int List Map Option Price Result Set Stellar_crypto String

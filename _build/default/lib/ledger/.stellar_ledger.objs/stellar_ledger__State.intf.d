@@ -1,0 +1,1 @@
+lib/ledger/state.mli: Asset Entry

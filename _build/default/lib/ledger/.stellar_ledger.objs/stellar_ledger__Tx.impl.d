@@ -1,0 +1,1 @@
+lib/ledger/tx.ml: Asset Bool Buffer Entry Int32 Int64 List Option Price Stellar_crypto String

@@ -1,0 +1,1 @@
+lib/ledger/tx.mli: Asset Entry Price Stellar_crypto

@@ -1,0 +1,164 @@
+type account_id = Asset.account_id
+
+type flags = { auth_required : bool; auth_revocable : bool; auth_immutable : bool }
+
+let default_flags = { auth_required = false; auth_revocable = false; auth_immutable = false }
+
+type thresholds = { master_weight : int; low : int; medium : int; high : int }
+
+let default_thresholds = { master_weight = 1; low = 0; medium = 0; high = 0 }
+
+type signer = { key : string; weight : int }
+
+type account = {
+  id : account_id;
+  balance : int;
+  seq_num : int;
+  num_sub_entries : int;
+  flags : flags;
+  thresholds : thresholds;
+  signers : signer list;
+  home_domain : string;
+  inflation_dest : account_id option;
+}
+
+let new_account ~id ~balance ~seq_num =
+  {
+    id;
+    balance;
+    seq_num;
+    num_sub_entries = 0;
+    flags = default_flags;
+    thresholds = default_thresholds;
+    signers = [];
+    home_domain = "";
+    inflation_dest = None;
+  }
+
+type trustline = {
+  account : account_id;
+  asset : Asset.t;
+  tl_balance : int;
+  limit : int;
+  authorized : bool;
+}
+
+type offer = {
+  offer_id : int;
+  seller : account_id;
+  selling : Asset.t;
+  buying : Asset.t;
+  amount : int;
+  price : Price.t;
+  passive : bool;
+}
+
+type data = { owner : account_id; name : string; value : string }
+
+type key =
+  | Account_key of account_id
+  | Trustline_key of account_id * Asset.t
+  | Offer_key of int
+  | Data_key of account_id * string
+
+type entry =
+  | Account_entry of account
+  | Trustline_entry of trustline
+  | Offer_entry of offer
+  | Data_entry of data
+
+let key_of_entry = function
+  | Account_entry a -> Account_key a.id
+  | Trustline_entry t -> Trustline_key (t.account, t.asset)
+  | Offer_entry o -> Offer_key o.offer_id
+  | Data_entry d -> Data_key (d.owner, d.name)
+
+let compare_key a b =
+  let rank = function
+    | Account_key _ -> 0
+    | Trustline_key _ -> 1
+    | Offer_key _ -> 2
+    | Data_key _ -> 3
+  in
+  match (a, b) with
+  | Account_key x, Account_key y -> String.compare x y
+  | Trustline_key (x1, x2), Trustline_key (y1, y2) ->
+      let c = String.compare x1 y1 in
+      if c <> 0 then c else Asset.compare x2 y2
+  | Offer_key x, Offer_key y -> Int.compare x y
+  | Data_key (x1, x2), Data_key (y1, y2) ->
+      let c = String.compare x1 y1 in
+      if c <> 0 then c else String.compare x2 y2
+  | _ -> Int.compare (rank a) (rank b)
+
+let encode_key = function
+  | Account_key id -> "A:" ^ id
+  | Trustline_key (id, asset) -> "T:" ^ id ^ ":" ^ Asset.encode asset
+  | Offer_key id -> Printf.sprintf "O:%d" id
+  | Data_key (id, name) -> "D:" ^ id ^ ":" ^ name
+
+let encode_entry e =
+  let buf = Buffer.create 128 in
+  let istr s =
+    Buffer.add_int32_be buf (Int32.of_int (String.length s));
+    Buffer.add_string buf s
+  in
+  let int n = Buffer.add_int64_be buf (Int64.of_int n) in
+  let flag b = Buffer.add_char buf (if b then '\001' else '\000') in
+  (match e with
+  | Account_entry a ->
+      Buffer.add_char buf 'A';
+      istr a.id;
+      int a.balance;
+      int a.seq_num;
+      int a.num_sub_entries;
+      flag a.flags.auth_required;
+      flag a.flags.auth_revocable;
+      flag a.flags.auth_immutable;
+      int a.thresholds.master_weight;
+      int a.thresholds.low;
+      int a.thresholds.medium;
+      int a.thresholds.high;
+      int (List.length a.signers);
+      List.iter
+        (fun s ->
+          istr s.key;
+          int s.weight)
+        a.signers;
+      istr a.home_domain;
+      (match a.inflation_dest with
+      | None -> flag false
+      | Some d ->
+          flag true;
+          istr d)
+  | Trustline_entry t ->
+      Buffer.add_char buf 'T';
+      istr t.account;
+      istr (Asset.encode t.asset);
+      int t.tl_balance;
+      int t.limit;
+      flag t.authorized
+  | Offer_entry o ->
+      Buffer.add_char buf 'O';
+      int o.offer_id;
+      istr o.seller;
+      istr (Asset.encode o.selling);
+      istr (Asset.encode o.buying);
+      int o.amount;
+      int o.price.Price.n;
+      int o.price.Price.d;
+      flag o.passive
+  | Data_entry d ->
+      Buffer.add_char buf 'D';
+      istr d.owner;
+      istr d.name;
+      istr d.value);
+  Buffer.contents buf
+
+let pp_key fmt k =
+  let short s = Stellar_crypto.Hex.encode (String.sub s 0 (min 4 (String.length s))) in
+  match k with
+  | Account_key id -> Format.fprintf fmt "account:%s" (short id)
+  | Trustline_key (id, asset) -> Format.fprintf fmt "trust:%s:%a" (short id) Asset.pp asset
+  | Offer_key id -> Format.fprintf fmt "offer:%d" id
+  | Data_key (id, name) -> Format.fprintf fmt "data:%s:%s" (short id) name

@@ -1,0 +1,138 @@
+type outcome = { state : State.t; got : int; paid : int; fills : int }
+
+let unbounded = max_int / 4
+
+(* Saturating [⌊x/p⌋]: an overflow means "more than any ledger amount". *)
+let div_floor_sat x p =
+  match Price.div_floor x p with Some v -> v | None -> unbounded
+
+(* Maker-side transfer capacity. How much of [asset] can this account pay
+   out right now (its offer may have become under-funded since creation)? *)
+let spendable state account_id asset =
+  match asset with
+  | Asset.Native -> (
+      match State.account state account_id with
+      | None -> 0
+      | Some a ->
+          let reserve = State.min_balance state ~num_sub_entries:a.Entry.num_sub_entries in
+          max 0 (a.Entry.balance - reserve))
+  | Asset.Credit { issuer; _ } when String.equal issuer account_id -> unbounded
+  | Asset.Credit _ -> (
+      match State.trustline state account_id asset with
+      | Some tl when tl.Entry.authorized -> tl.Entry.tl_balance
+      | _ -> 0)
+
+(* How much of [asset] can this account still receive? *)
+let receivable state account_id asset =
+  match asset with
+  | Asset.Native -> ( match State.account state account_id with Some _ -> unbounded | None -> 0)
+  | Asset.Credit { issuer; _ } when String.equal issuer account_id -> unbounded
+  | Asset.Credit _ -> (
+      match State.trustline state account_id asset with
+      | Some tl when tl.Entry.authorized -> max 0 (tl.Entry.limit - tl.Entry.tl_balance)
+      | _ -> 0)
+
+(* Unchecked transfers used for maker legs; capacities were checked above. *)
+let unchecked_credit state account_id asset amount =
+  match asset with
+  | Asset.Native ->
+      let a = Option.get (State.account state account_id) in
+      State.put_account state { a with Entry.balance = a.Entry.balance + amount }
+  | Asset.Credit { issuer; _ } when String.equal issuer account_id -> state
+  | Asset.Credit _ ->
+      let tl = Option.get (State.trustline state account_id asset) in
+      State.put_trustline state { tl with Entry.tl_balance = tl.Entry.tl_balance + amount }
+
+let unchecked_debit state account_id asset amount =
+  match asset with
+  | Asset.Native ->
+      let a = Option.get (State.account state account_id) in
+      State.put_account state { a with Entry.balance = a.Entry.balance - amount }
+  | Asset.Credit { issuer; _ } when String.equal issuer account_id -> state
+  | Asset.Credit _ ->
+      let tl = Option.get (State.trustline state account_id asset) in
+      State.put_trustline state { tl with Entry.tl_balance = tl.Entry.tl_balance - amount }
+
+(* Delete an offer and release its sub-entry on the seller. *)
+let delete_offer state (o : Entry.offer) =
+  let state = State.remove_offer state o.Entry.offer_id in
+  match State.account state o.Entry.seller with
+  | None -> state
+  | Some a ->
+      State.put_account state
+        { a with Entry.num_sub_entries = a.Entry.num_sub_entries - 1 }
+
+let cross state ~give_asset ~get_asset ?max_give ?want_get ?price_limit
+    ?(strict_price = false) ?exclude_seller () =
+  if max_give = None && want_get = None then
+    Error "cross: need max_give or want_get"
+  else begin
+    let rec loop state got paid fills =
+      let want_more =
+        match want_get with Some w -> got < w | None -> true
+      in
+      let budget_left = match max_give with Some m -> m - paid | None -> unbounded in
+      if (not want_more) || budget_left <= 0 then Ok { state; got; paid; fills }
+      else
+        (* Makers sell [get_asset] and buy [give_asset]. *)
+        match State.best_offers state ~selling:get_asset ~buying:give_asset with
+        | [] -> Ok { state; got; paid; fills }
+        | maker :: _ ->
+            begin
+              let maker_price = maker.Entry.price in
+              let stop_on_price =
+                match price_limit with
+                | Some taker_price ->
+                    let crosses = Price.crosses ~taker:taker_price ~maker:maker_price in
+                    let exactly_opposite =
+                      Price.equal maker_price (Price.inverse taker_price)
+                    in
+                    (not crosses) || (strict_price && exactly_opposite)
+                | None -> false
+              in
+              if stop_on_price then Ok { state; got; paid; fills }
+              else if
+                match exclude_seller with
+                | Some s -> String.equal s maker.Entry.seller
+                | None -> false
+              then
+                (* Would cross one of the taker's own offers: stellar-core
+                   fails the operation with CROSS_SELF. *)
+                Error "self-cross"
+              else begin
+                (* Clamp by maker's real capacities; drop dead offers. *)
+                let maker_can_give = spendable state maker.Entry.seller get_asset in
+                let maker_can_recv = receivable state maker.Entry.seller give_asset in
+                let max_recv_units =
+                  (* largest q with ceil(q * price) <= maker_can_recv *)
+                  div_floor_sat maker_can_recv maker_price
+                in
+                let avail = min maker.Entry.amount (min maker_can_give max_recv_units) in
+                if avail <= 0 then loop (delete_offer state maker) got paid fills
+                else begin
+                  let wanted = match want_get with Some w -> w - got | None -> unbounded in
+                  let affordable = div_floor_sat budget_left maker_price in
+                  let q = min avail (min wanted affordable) in
+                  if q <= 0 then Ok { state; got; paid; fills }
+                  else begin
+                    match Price.mul_ceil q maker_price with
+                    | None -> Error "cross: overflow"
+                    | Some pay ->
+                        (* maker leg: receives [pay] give_asset, gives [q]
+                           get_asset *)
+                        let state = unchecked_credit state maker.Entry.seller give_asset pay in
+                        let state = unchecked_debit state maker.Entry.seller get_asset q in
+                        let state =
+                          if q = maker.Entry.amount then delete_offer state maker
+                          else
+                            State.put_offer state
+                              { maker with Entry.amount = maker.Entry.amount - q }
+                        in
+                        loop state (got + q) (paid + pay) (fills + 1)
+                  end
+                end
+              end
+            end
+    in
+    loop state 0 0 0
+  end

@@ -1,0 +1,225 @@
+type account_id = Asset.account_id
+
+type time_bounds = { min_time : int; max_time : int }
+
+type memo = Memo_none | Memo_text of string | Memo_hash of string
+
+type signer_update = Set_signer of Entry.signer | Remove_signer of string
+
+type operation_body =
+  | Create_account of { destination : account_id; starting_balance : int }
+  | Payment of { destination : account_id; asset : Asset.t; amount : int }
+  | Path_payment of {
+      send_asset : Asset.t;
+      send_max : int;
+      destination : account_id;
+      dest_asset : Asset.t;
+      dest_amount : int;
+      path : Asset.t list;
+    }
+  | Manage_offer of {
+      offer_id : int;
+      selling : Asset.t;
+      buying : Asset.t;
+      amount : int;
+      price : Price.t;
+      passive : bool;
+    }
+  | Set_options of {
+      master_weight : int option;
+      low : int option;
+      medium : int option;
+      high : int option;
+      signer : signer_update option;
+      home_domain : string option;
+      set_auth_required : bool option;
+      set_auth_revocable : bool option;
+      set_auth_immutable : bool option;
+    }
+  | Change_trust of { asset : Asset.t; limit : int }
+  | Allow_trust of { trustor : account_id; asset_code : string; authorize : bool }
+  | Account_merge of { destination : account_id }
+  | Manage_data of { name : string; value : string option }
+  | Bump_sequence of { bump_to : int }
+  | Set_inflation_dest of { dest : account_id }
+  | Inflation
+
+type operation = { op_source : account_id option; body : operation_body }
+
+let op ?source body = { op_source = source; body }
+
+type t = {
+  source : account_id;
+  fee : int;
+  seq_num : int;
+  time_bounds : time_bounds option;
+  memo : memo;
+  operations : operation list;
+}
+
+type signed = { tx : t; signatures : (account_id * string) list }
+
+let make ~source ~seq_num ?fee ?time_bounds ?(memo = Memo_none) operations =
+  let fee = match fee with Some f -> f | None -> 100 * List.length operations in
+  { source; fee; seq_num; time_bounds; memo; operations }
+
+let encode tx =
+  let buf = Buffer.create 256 in
+  let istr s =
+    Buffer.add_int32_be buf (Int32.of_int (String.length s));
+    Buffer.add_string buf s
+  in
+  let int n = Buffer.add_int64_be buf (Int64.of_int n) in
+  let asset a = istr (Asset.encode a) in
+  let opt_int = function
+    | None -> Buffer.add_char buf '\000'
+    | Some n ->
+        Buffer.add_char buf '\001';
+        int n
+  in
+  istr tx.source;
+  int tx.fee;
+  int tx.seq_num;
+  (match tx.time_bounds with
+  | None -> Buffer.add_char buf '\000'
+  | Some { min_time; max_time } ->
+      Buffer.add_char buf '\001';
+      int min_time;
+      int max_time);
+  (match tx.memo with
+  | Memo_none -> Buffer.add_char buf '0'
+  | Memo_text s ->
+      Buffer.add_char buf 't';
+      istr s
+  | Memo_hash h ->
+      Buffer.add_char buf 'h';
+      istr h);
+  int (List.length tx.operations);
+  List.iter
+    (fun { op_source; body } ->
+      (match op_source with
+      | None -> Buffer.add_char buf '\000'
+      | Some s ->
+          Buffer.add_char buf '\001';
+          istr s);
+      match body with
+      | Create_account { destination; starting_balance } ->
+          Buffer.add_char buf 'c';
+          istr destination;
+          int starting_balance
+      | Payment { destination; asset = a; amount } ->
+          Buffer.add_char buf 'p';
+          istr destination;
+          asset a;
+          int amount
+      | Path_payment { send_asset; send_max; destination; dest_asset; dest_amount; path } ->
+          Buffer.add_char buf 'P';
+          asset send_asset;
+          int send_max;
+          istr destination;
+          asset dest_asset;
+          int dest_amount;
+          int (List.length path);
+          List.iter asset path
+      | Manage_offer { offer_id; selling; buying; amount; price; passive } ->
+          Buffer.add_char buf 'o';
+          int offer_id;
+          asset selling;
+          asset buying;
+          int amount;
+          int price.Price.n;
+          int price.Price.d;
+          Buffer.add_char buf (if passive then '\001' else '\000')
+      | Set_options o ->
+          Buffer.add_char buf 's';
+          opt_int o.master_weight;
+          opt_int o.low;
+          opt_int o.medium;
+          opt_int o.high;
+          (match o.signer with
+          | None -> Buffer.add_char buf '\000'
+          | Some (Set_signer s) ->
+              Buffer.add_char buf '\001';
+              istr s.Entry.key;
+              int s.Entry.weight
+          | Some (Remove_signer k) ->
+              Buffer.add_char buf '\002';
+              istr k);
+          (match o.home_domain with
+          | None -> Buffer.add_char buf '\000'
+          | Some d ->
+              Buffer.add_char buf '\001';
+              istr d);
+          opt_int (Option.map Bool.to_int o.set_auth_required);
+          opt_int (Option.map Bool.to_int o.set_auth_revocable);
+          opt_int (Option.map Bool.to_int o.set_auth_immutable)
+      | Change_trust { asset = a; limit } ->
+          Buffer.add_char buf 'T';
+          asset a;
+          int limit
+      | Allow_trust { trustor; asset_code; authorize } ->
+          Buffer.add_char buf 'A';
+          istr trustor;
+          istr asset_code;
+          Buffer.add_char buf (if authorize then '\001' else '\000')
+      | Account_merge { destination } ->
+          Buffer.add_char buf 'm';
+          istr destination
+      | Manage_data { name; value } ->
+          Buffer.add_char buf 'd';
+          istr name;
+          (match value with
+          | None -> Buffer.add_char buf '\000'
+          | Some v ->
+              Buffer.add_char buf '\001';
+              istr v)
+      | Bump_sequence { bump_to } ->
+          Buffer.add_char buf 'b';
+          int bump_to
+      | Set_inflation_dest { dest } ->
+          Buffer.add_char buf 'i';
+          istr dest
+      | Inflation -> Buffer.add_char buf 'I')
+    tx.operations;
+  Buffer.contents buf
+
+let network_id = Stellar_crypto.Sha256.digest "stellar-repro network ; 2026"
+
+let hash tx = Stellar_crypto.Sha256.digest_list [ network_id; encode tx ]
+
+let sign tx ~secret ~public ~scheme =
+  let module S = (val scheme : Stellar_crypto.Sig_intf.SCHEME with type secret = string) in
+  { tx; signatures = [ (public, S.sign secret (hash tx)) ] }
+
+let co_sign signed ~secret ~public ~scheme =
+  let module S = (val scheme : Stellar_crypto.Sig_intf.SCHEME with type secret = string) in
+  { signed with signatures = (public, S.sign secret (hash signed.tx)) :: signed.signatures }
+
+let operation_count tx = List.length tx.operations
+
+let size signed =
+  String.length (encode signed.tx)
+  + List.fold_left (fun acc (k, s) -> acc + String.length k + String.length s) 0 signed.signatures
+
+type threshold_level = Low | Medium | High
+
+let threshold_level = function
+  | Allow_trust _ | Bump_sequence _ | Inflation -> Low
+  | Set_options _ | Account_merge _ -> High
+  | Create_account _ | Payment _ | Path_payment _ | Manage_offer _ | Change_trust _
+  | Manage_data _ | Set_inflation_dest _ ->
+      Medium
+
+let op_name = function
+  | Create_account _ -> "create_account"
+  | Payment _ -> "payment"
+  | Path_payment _ -> "path_payment"
+  | Manage_offer _ -> "manage_offer"
+  | Set_options _ -> "set_options"
+  | Change_trust _ -> "change_trust"
+  | Allow_trust _ -> "allow_trust"
+  | Account_merge _ -> "account_merge"
+  | Manage_data _ -> "manage_data"
+  | Bump_sequence _ -> "bump_sequence"
+  | Set_inflation_dest _ -> "set_inflation_dest"
+  | Inflation -> "inflation"

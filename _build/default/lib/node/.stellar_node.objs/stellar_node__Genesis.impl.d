@@ -1,0 +1,1 @@
+lib/node/genesis.ml: Array Asset Entry Printf State Stellar_crypto Stellar_ledger

@@ -1,0 +1,1 @@
+lib/node/genesis.mli: Stellar_ledger

@@ -1,0 +1,1 @@
+lib/node/message.ml: Scp Stellar_crypto Stellar_herder Stellar_ledger

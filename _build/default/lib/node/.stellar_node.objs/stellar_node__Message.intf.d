@@ -1,0 +1,1 @@
+lib/node/message.mli: Scp Stellar_herder Stellar_ledger

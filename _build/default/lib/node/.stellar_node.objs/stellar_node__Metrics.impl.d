@@ -1,0 +1,1 @@
+lib/node/metrics.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/node/scenario.ml: Array Asset Format Fun Genesis Header List Metrics Stellar_bucket Stellar_crypto Stellar_herder Stellar_ledger Stellar_sim Topology Tx Unix Validator

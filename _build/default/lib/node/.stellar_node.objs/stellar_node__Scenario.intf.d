@@ -1,0 +1,1 @@
+lib/node/scenario.mli: Format Metrics Stellar_sim Topology

@@ -1,0 +1,1 @@
+lib/node/topology.ml: Array Fun Int List Printf Quorum_analysis Scp Stellar_crypto

@@ -1,0 +1,1 @@
+lib/node/topology.mli: Quorum_analysis Scp

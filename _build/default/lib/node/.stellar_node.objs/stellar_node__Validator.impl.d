@@ -1,0 +1,1 @@
+lib/node/validator.ml: Hashtbl Lazy List Message Scp Stellar_herder Stellar_sim

@@ -1,0 +1,1 @@
+lib/node/validator.mli: Message Scp Stellar_bucket Stellar_herder Stellar_ledger Stellar_sim

@@ -1,0 +1,32 @@
+open Stellar_ledger
+
+type account = { name : int; secret : string; public : string }
+
+let master_seed = Stellar_crypto.Sha256.digest "genesis-master"
+
+let account_keys i =
+  let seed = Stellar_crypto.Sha256.digest (Printf.sprintf "genesis-account-%d" i) in
+  let secret, public = Stellar_crypto.Sim_sig.keypair ~seed in
+  { name = i; secret; public }
+
+let make ?(base_reserve = 5_000_000) ?(balance = Asset.of_units 10_000) ~n_accounts () =
+  let _, master = Stellar_crypto.Sim_sig.keypair ~seed:master_seed in
+  let total = Asset.of_units 1_000_000_000_000 in
+  let state = State.genesis ~base_reserve ~master ~total_xlm:total () in
+  let accounts = Array.init n_accounts account_keys in
+  let state =
+    Array.fold_left
+      (fun state a ->
+        State.put_account state (Entry.new_account ~id:a.public ~balance ~seq_num:0))
+      state accounts
+  in
+  (* keep the XLM supply invariant: debit the master for what was created *)
+  let state =
+    match State.account state master with
+    | Some m ->
+        State.put_account state
+          { m with Entry.balance = m.Entry.balance - (n_accounts * balance) }
+    | None -> state
+  in
+  let state, _ = State.take_dirty state in
+  (state, accounts)

@@ -1,0 +1,16 @@
+type t =
+  | Envelope of Scp.Types.envelope
+  | Tx_set_msg of Stellar_herder.Tx_set.t
+  | Tx_msg of Stellar_ledger.Tx.signed
+
+let size = function
+  | Envelope env -> Scp.Types.envelope_size env
+  | Tx_set_msg ts -> Stellar_herder.Tx_set.size_bytes ts + 64
+  | Tx_msg signed -> Stellar_ledger.Tx.size signed
+
+let dedup_key = function
+  | Envelope env ->
+      Stellar_crypto.Sha256.digest_list
+        [ "env"; Scp.Types.statement_bytes env.Scp.Types.statement; env.Scp.Types.signature ]
+  | Tx_set_msg ts -> Stellar_herder.Tx_set.hash ts
+  | Tx_msg signed -> Stellar_ledger.Tx.hash signed.Stellar_ledger.Tx.tx

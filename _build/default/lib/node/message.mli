@@ -1,0 +1,13 @@
+(** Overlay wire messages: SCP envelopes, transaction sets and transactions
+    flooded among peers (§5.4, §7.5: a naive flooding protocol). *)
+
+type t =
+  | Envelope of Scp.Types.envelope
+  | Tx_set_msg of Stellar_herder.Tx_set.t
+  | Tx_msg of Stellar_ledger.Tx.signed
+
+val size : t -> int
+(** Serialized size in bytes, for bandwidth accounting (§7.4). *)
+
+val dedup_key : t -> string
+(** Hash used by flood deduplication. *)

@@ -1,0 +1,17 @@
+(** Small statistics helpers for the experiment reports. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p75 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+val zero : summary
+val pp_ms : Format.formatter -> summary -> unit
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]]. *)

@@ -1,0 +1,247 @@
+open Stellar_ledger
+
+type params = {
+  spec : Topology.spec;
+  n_accounts : int;
+  tx_rate : float;
+  duration : float;
+  latency : Stellar_sim.Latency.t;
+  processing : int -> float;
+  seed : int;
+  ledger_interval : float;
+  max_ops_per_ledger : int;
+  warmup_ledgers : int;
+}
+
+let default ~spec =
+  {
+    spec;
+    n_accounts = 1_000;
+    tx_rate = 20.0;
+    duration = 60.0;
+    latency = Stellar_sim.Latency.datacenter;
+    processing = (fun size -> 0.0001 +. (float_of_int size *. 8.0 /. 1e9));
+    seed = 1;
+    ledger_interval = 5.0;
+    max_ops_per_ledger = 10_000;
+    warmup_ledgers = 2;
+  }
+
+type report = {
+  ledgers_closed : int;
+  nomination : Metrics.summary;
+  balloting : Metrics.summary;
+  apply : Metrics.summary;
+  total : Metrics.summary;
+  close_interval : Metrics.summary;
+  txs_per_ledger : Metrics.summary;
+  txs_submitted : int;
+  txs_applied : int;
+  nomination_timeouts_per_ledger : Metrics.summary;
+  ballot_timeouts_per_ledger : Metrics.summary;
+  envelopes_per_ledger : float;
+  msgs_per_second_per_node : float;
+  bytes_in_per_second : float;
+  bytes_out_per_second : float;
+  diverged : bool;
+  wall_seconds : float;
+  final_ledger_seq : int;
+}
+
+let scheme =
+  (module Stellar_crypto.Sim_sig : Stellar_crypto.Sig_intf.SCHEME with type secret = string)
+
+let run p =
+  let wall0 = Unix.gettimeofday () in
+  let engine = Stellar_sim.Engine.create () in
+  let rng = Stellar_sim.Rng.create ~seed:p.seed in
+  let network =
+    Stellar_sim.Network.create ~engine ~rng ~n:p.spec.Topology.n_nodes ~latency:p.latency
+      ~processing:p.processing ()
+  in
+  let genesis, accounts = Genesis.make ~n_accounts:p.n_accounts () in
+  let shared_buckets = Stellar_bucket.Bucket_list.of_state genesis in
+  (* per-ledger stats from node 0; timeout counters per node *)
+  let ledger_log = ref [] in
+  let nom_timeouts = ref 0 and ballot_timeouts = ref 0 in
+  let timeouts_per_ledger = ref [] in
+  let validators =
+    Array.init p.spec.Topology.n_nodes (fun i ->
+        let config =
+          {
+            (Stellar_herder.Herder.default_config ~seed:(p.spec.Topology.validator_seed i)
+               ~qset:(p.spec.Topology.qset_of i))
+            with
+            Stellar_herder.Herder.is_validator = p.spec.Topology.is_validator i;
+            ledger_interval = p.ledger_interval;
+            max_ops_per_ledger = p.max_ops_per_ledger;
+          }
+        in
+        let on_ledger_closed =
+          if i = 0 then fun stats ->
+            begin
+              ledger_log := stats :: !ledger_log;
+              timeouts_per_ledger := (!nom_timeouts, !ballot_timeouts) :: !timeouts_per_ledger;
+              nom_timeouts := 0;
+              ballot_timeouts := 0
+            end
+          else fun _ -> ()
+        in
+        let on_timeout =
+          if i = 0 then fun ~kind ->
+            match kind with
+            | `Nomination -> incr nom_timeouts
+            | `Ballot -> incr ballot_timeouts
+          else fun ~kind:_ -> ()
+        in
+        Validator.create ~network ~index:i ~peers:(p.spec.Topology.peers_of i) ~config
+          ~genesis ~buckets:shared_buckets ~on_ledger_closed ~on_timeout ())
+  in
+  Array.iter Validator.start validators;
+  (* ---- load generation: Poisson arrivals of single-payment txs ---- *)
+  let seqs = Array.make (max 1 (Array.length accounts)) 0 in
+  let submitted = ref 0 in
+  let validator_indices =
+    List.filter p.spec.Topology.is_validator (List.init p.spec.Topology.n_nodes Fun.id)
+    |> Array.of_list
+  in
+  let next_account = ref 0 in
+  let submit_one () =
+    if Array.length accounts >= 2 then begin
+      let src_i = !next_account mod Array.length accounts in
+      next_account := !next_account + 1;
+      let dst_i = Stellar_sim.Rng.int rng (Array.length accounts) in
+      let dst_i = if dst_i = src_i then (dst_i + 1) mod Array.length accounts else dst_i in
+      let src = accounts.(src_i) and dst = accounts.(dst_i) in
+      seqs.(src_i) <- seqs.(src_i) + 1;
+      let tx =
+        Tx.make ~source:src.Genesis.public ~seq_num:seqs.(src_i)
+          [
+            Tx.op
+              (Tx.Payment
+                 { destination = dst.Genesis.public; asset = Asset.native; amount = 1000 });
+          ]
+      in
+      let signed = Tx.sign tx ~secret:src.Genesis.secret ~public:src.Genesis.public ~scheme in
+      let target = Stellar_sim.Rng.pick rng validator_indices in
+      Validator.submit_tx validators.(target) signed;
+      incr submitted
+    end
+  in
+  let rec arrival () =
+    if Stellar_sim.Engine.now engine < p.duration && p.tx_rate > 0.0 then begin
+      submit_one ();
+      let gap = Stellar_sim.Rng.exponential rng ~mean:(1.0 /. p.tx_rate) in
+      ignore (Stellar_sim.Engine.schedule engine ~delay:gap arrival)
+    end
+  in
+  if p.tx_rate > 0.0 then ignore (Stellar_sim.Engine.schedule engine ~delay:0.1 arrival);
+  (* run under load, then drain a few more ledgers *)
+  Stellar_sim.Engine.run ~until:(p.duration +. (4.0 *. p.ledger_interval)) engine;
+  Array.iter Validator.stop validators;
+  (* ---- collect ---- *)
+  let stats = List.rev !ledger_log in
+  let t_per_ledger = List.rev !timeouts_per_ledger in
+  let drop_warmup l = if List.length l > p.warmup_ledgers then
+      List.filteri (fun i _ -> i >= p.warmup_ledgers) l
+    else l
+  in
+  let stats' = drop_warmup stats in
+  let t_per_ledger' = drop_warmup t_per_ledger in
+  let fl f = List.map f stats' in
+  let close_intervals =
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+          float_of_int (b.Stellar_herder.Herder.close_time - a.Stellar_herder.Herder.close_time)
+          :: go rest
+      | _ -> []
+    in
+    go stats'
+  in
+  let txs_applied =
+    List.fold_left (fun acc s -> acc + s.Stellar_herder.Herder.tx_count) 0 stats
+  in
+  let virtual_elapsed = Stellar_sim.Engine.now engine in
+  let node0 = Stellar_sim.Network.stats network 0 in
+  let n_ledgers_all = List.length stats in
+  (* logical envelopes per ledger: count envelope floods originated by
+     node 0 (its own emissions) per closed ledger *)
+  let envelopes_per_ledger =
+    if n_ledgers_all = 0 then 0.0
+    else float_of_int (Validator.own_envelopes validators.(0)) /. float_of_int n_ledgers_all
+  in
+  let diverged =
+    let hash_of i =
+      match Stellar_herder.Herder.last_header (Validator.herder validators.(i)) with
+      | Some h -> Some (Header.hash h)
+      | None -> None
+    in
+    (* compare validators at the same ledger seq: use min common length *)
+    let chains =
+      Array.to_list validators
+      |> List.filter (fun v -> p.spec.Topology.is_validator (Validator.index v))
+      |> List.map (fun v ->
+             List.rev_map Header.hash (Stellar_herder.Herder.headers (Validator.herder v)))
+    in
+    ignore hash_of;
+    match chains with
+    | [] -> false
+    | first :: rest ->
+        let common = List.fold_left (fun acc c -> min acc (List.length c)) (List.length first) rest in
+        let prefix c = List.filteri (fun i _ -> i < common) c in
+        let p0 = prefix first in
+        List.exists (fun c -> prefix c <> p0) rest
+  in
+  {
+    ledgers_closed = List.length stats;
+    nomination = Metrics.summarize (fl (fun s -> s.Stellar_herder.Herder.nomination_s));
+    balloting = Metrics.summarize (fl (fun s -> s.Stellar_herder.Herder.balloting_s));
+    apply = Metrics.summarize (fl (fun s -> s.Stellar_herder.Herder.apply_s));
+    total = Metrics.summarize (fl (fun s -> s.Stellar_herder.Herder.total_s));
+    close_interval = Metrics.summarize close_intervals;
+    txs_per_ledger =
+      Metrics.summarize (fl (fun s -> float_of_int s.Stellar_herder.Herder.tx_count));
+    txs_submitted = !submitted;
+    txs_applied;
+    nomination_timeouts_per_ledger =
+      Metrics.summarize (List.map (fun (n, _) -> float_of_int n) t_per_ledger');
+    ballot_timeouts_per_ledger =
+      Metrics.summarize (List.map (fun (_, b) -> float_of_int b) t_per_ledger');
+    envelopes_per_ledger;
+    msgs_per_second_per_node =
+      (if virtual_elapsed > 0.0 then
+         float_of_int node0.Stellar_sim.Network.msgs_sent /. virtual_elapsed
+       else 0.0);
+    bytes_in_per_second =
+      (if virtual_elapsed > 0.0 then
+         float_of_int node0.Stellar_sim.Network.bytes_received /. virtual_elapsed
+       else 0.0);
+    bytes_out_per_second =
+      (if virtual_elapsed > 0.0 then
+         float_of_int node0.Stellar_sim.Network.bytes_sent /. virtual_elapsed
+       else 0.0);
+    diverged;
+    wall_seconds = Unix.gettimeofday () -. wall0;
+    final_ledger_seq = Stellar_herder.Herder.ledger_seq (Validator.herder validators.(0));
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>ledgers closed     : %d (final seq %d)%s@,\
+     nomination         : %a@,\
+     balloting          : %a@,\
+     ledger update      : %a@,\
+     end-to-end         : %a@,\
+     close interval     : mean %.2fs@,\
+     txs/ledger         : mean %.1f (applied %d / submitted %d)@,\
+     SCP envelopes/ledger (node 0): %.1f@,\
+     node-0 traffic     : %.0f msg/s, in %.2f Mbit/s, out %.2f Mbit/s@,\
+     wall time          : %.2fs@]"
+    r.ledgers_closed r.final_ledger_seq
+    (if r.diverged then "  !! DIVERGED !!" else "")
+    Metrics.pp_ms r.nomination Metrics.pp_ms r.balloting Metrics.pp_ms r.apply
+    Metrics.pp_ms r.total r.close_interval.Metrics.mean r.txs_per_ledger.Metrics.mean
+    r.txs_applied r.txs_submitted r.envelopes_per_ledger r.msgs_per_second_per_node
+    (r.bytes_in_per_second *. 8.0 /. 1_000_000.0)
+    (r.bytes_out_per_second *. 8.0 /. 1_000_000.0)
+    r.wall_seconds

@@ -1,0 +1,50 @@
+(** End-to-end simulation scenarios: the testbed behind every figure in §7.
+
+    A scenario builds a genesis ledger with N accounts, boots a topology of
+    validators over the simulated network, generates Poisson payment load at
+    a target rate (the [generateload] analogue), runs the virtual clock, and
+    collects the same measurements the paper reports: nomination, balloting
+    and ledger-update latency, transactions per ledger, close rate, SCP
+    message counts and bandwidth. *)
+
+type params = {
+  spec : Topology.spec;
+  n_accounts : int;
+  tx_rate : float;  (** payments per second *)
+  duration : float;  (** seconds of virtual time under load *)
+  latency : Stellar_sim.Latency.t;
+  processing : int -> float;
+      (** receiver-side per-message CPU cost; default models envelope
+          verification (~100us) plus 1 Gbps deserialization *)
+  seed : int;
+  ledger_interval : float;
+  max_ops_per_ledger : int;
+  warmup_ledgers : int;  (** ledgers excluded from the stats *)
+}
+
+val default : spec:Topology.spec -> params
+
+type report = {
+  ledgers_closed : int;
+  nomination : Metrics.summary;
+  balloting : Metrics.summary;
+  apply : Metrics.summary;
+  total : Metrics.summary;
+  close_interval : Metrics.summary;  (** time between consecutive closes *)
+  txs_per_ledger : Metrics.summary;
+  txs_submitted : int;
+  txs_applied : int;
+  nomination_timeouts_per_ledger : Metrics.summary;
+  ballot_timeouts_per_ledger : Metrics.summary;
+  envelopes_per_ledger : float;  (** logical SCP envelopes emitted per ledger *)
+  msgs_per_second_per_node : float;
+  bytes_in_per_second : float;  (** observed at node 0 *)
+  bytes_out_per_second : float;
+  diverged : bool;  (** any two validators on different header chains *)
+  wall_seconds : float;  (** real time the simulation took *)
+  final_ledger_seq : int;
+}
+
+val run : params -> report
+
+val pp_report : Format.formatter -> report -> unit

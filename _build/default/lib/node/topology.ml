@@ -1,0 +1,126 @@
+type spec = {
+  n_nodes : int;
+  validator_seed : int -> string;
+  qset_of : int -> Scp.Quorum_set.t;
+  peers_of : int -> int list;
+  is_validator : int -> bool;
+}
+
+let seed_of i = Stellar_crypto.Sha256.digest (Printf.sprintf "validator-%d" i)
+
+let public_of i = snd (Stellar_crypto.Sim_sig.keypair ~seed:(seed_of i))
+
+let all_to_all ~n =
+  let ids = List.init n public_of in
+  let qset = Scp.Quorum_set.majority ids in
+  {
+    n_nodes = n;
+    validator_seed = seed_of;
+    qset_of = (fun _ -> qset);
+    peers_of = (fun i -> List.filter (fun j -> j <> i) (List.init n Fun.id));
+    is_validator = (fun _ -> true);
+  }
+
+let default_orgs =
+  Quorum_analysis.Synthesis.
+    [
+      (* 17 tier-one validators across 5 organizations (§7.2) *)
+      (Critical, 4);
+      (Critical, 3);
+      (Critical, 3);
+      (Critical, 3);
+      (Critical, 4);
+      (High, 3);
+      (High, 3);
+      (Medium, 2);
+      (Medium, 2);
+    ]
+
+let tiered ?(orgs = default_orgs) ?(leaves = 0) () =
+  (* assign node indices: org validators first, then leaves *)
+  let org_specs =
+    List.mapi (fun oi (quality, count) -> (oi, quality, count)) orgs
+  in
+  let n_validators = List.fold_left (fun acc (_, _, c) -> acc + c) 0 org_specs in
+  let n_nodes = n_validators + leaves in
+  let org_of_node = Array.make n_nodes (-1) in
+  let org_members = Array.make (List.length orgs) [] in
+  let next = ref 0 in
+  List.iter
+    (fun (oi, _, count) ->
+      for _ = 1 to count do
+        org_of_node.(!next) <- oi;
+        org_members.(oi) <- !next :: org_members.(oi);
+        incr next
+      done)
+    org_specs;
+  let synth_orgs =
+    List.map
+      (fun (oi, quality, _) ->
+        Quorum_analysis.Synthesis.org ~quality ~name:(Printf.sprintf "org-%d" oi)
+          (List.map public_of (List.rev org_members.(oi))))
+      org_specs
+  in
+  let qset = Quorum_analysis.Synthesis.quorum_set synth_orgs in
+  let org_first oi = List.hd (List.rev org_members.(oi)) in
+  let norgs = List.length orgs in
+  let peers_of i =
+    if i < n_validators then begin
+      let oi = org_of_node.(i) in
+      (* full mesh within the org *)
+      let intra = List.filter (fun j -> j <> i) org_members.(oi) in
+      (* gateways fully meshed across orgs; additionally EVERY validator
+         keeps two links into other orgs so no single crash partitions the
+         overlay *)
+      let inter =
+        if i = org_first oi then
+          List.filter_map
+            (fun (oj, _, _) -> if oj <> oi then Some (org_first oj) else None)
+            org_specs
+        else []
+      in
+      let redundant =
+        if norgs > 1 then
+          [
+            org_first ((oi + 1 + (i mod (norgs - 1))) mod norgs);
+            org_first ((oi + 1 + ((i + 1) mod (norgs - 1))) mod norgs);
+          ]
+          |> List.filter (fun j -> org_of_node.(j) <> oi)
+        else []
+      in
+      List.sort_uniq Int.compare (intra @ inter @ redundant)
+    end
+    else begin
+      (* leaf watcher: attach to two org gateways chosen by index *)
+      [ org_first (i mod norgs); org_first ((i + 1) mod norgs) ]
+    end
+  in
+  ( {
+      n_nodes;
+      validator_seed = seed_of;
+      qset_of = (fun _ -> qset);
+      peers_of;
+      is_validator = (fun i -> i < n_validators);
+    },
+    synth_orgs )
+
+let node_ids spec = Array.init spec.n_nodes public_of
+
+let network_config spec =
+  let assoc =
+    List.filter_map
+      (fun i -> if spec.is_validator i then Some (public_of i, spec.qset_of i) else None)
+      (List.init spec.n_nodes Fun.id)
+  in
+  Quorum_analysis.Network_config.of_assoc assoc
+
+let describe spec =
+  let validators =
+    List.length (List.filter spec.is_validator (List.init spec.n_nodes Fun.id))
+  in
+  let edges =
+    List.fold_left (fun acc i -> acc + List.length (spec.peers_of i)) 0
+      (List.init spec.n_nodes Fun.id)
+  in
+  Printf.sprintf "%d nodes (%d validators), %d directed overlay links" spec.n_nodes
+    validators edges

@@ -1,0 +1,35 @@
+(** Network topologies for the experiments.
+
+    [all_to_all] reproduces the controlled experiments of §7.3 ("every
+    validator in all validators' quorum slices, with quorum slices set to
+    any simple majority").  [tiered] reproduces the production network's
+    shape (Fig. 6/7): a core of tier-1 organizations everyone references,
+    mid-tier orgs, and leaf watchers. *)
+
+type spec = {
+  n_nodes : int;
+  validator_seed : int -> string;
+  qset_of : int -> Scp.Quorum_set.t;  (** quorum set for node [i] *)
+  peers_of : int -> int list;  (** overlay links for node [i] *)
+  is_validator : int -> bool;
+}
+
+val all_to_all : n:int -> spec
+
+val tiered :
+  ?orgs:(Quorum_analysis.Synthesis.quality * int) list ->
+  ?leaves:int ->
+  unit ->
+  spec * Quorum_analysis.Synthesis.org list
+(** [orgs] gives (quality, validator count) per organization; default is a
+    production-like layout: 5 critical orgs of 3 validators (the paper's 17
+    tier-1 nodes across SDF, SatoshiPay, LOBSTR, COINQVEST, Keybase — one
+    runs 5), plus mid-tier orgs.  [leaves] adds non-validating watchers.
+    Peers: validators within an org fully meshed, orgs connected through
+    their first validators, leaves attached randomly. *)
+
+val node_ids : spec -> Scp.Types.node_id array
+val network_config : spec -> Quorum_analysis.Network_config.t
+(** The collective configuration of all validators, for §6.2 checks. *)
+
+val describe : spec -> string

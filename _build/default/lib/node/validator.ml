@@ -1,0 +1,123 @@
+type t = {
+  network : Message.t Stellar_sim.Network.t;
+  index : int;
+  peers : int list;
+  herder : Stellar_herder.Herder.t;
+  seen : (string, unit) Hashtbl.t;
+  helped : (int * int, unit) Hashtbl.t;  (* (peer, slot) straggler replies sent *)
+  mutable floods_seen : int;
+  mutable floods_forwarded : int;
+  mutable own_envelopes : int;
+}
+
+let index t = t.index
+let herder t = t.herder
+let node_id t = Stellar_herder.Herder.node_id t.herder
+let floods_seen t = t.floods_seen
+let floods_forwarded t = t.floods_forwarded
+let own_envelopes t = t.own_envelopes
+
+(* [force] lets a node re-broadcast its own identical message (a straggler
+   re-announcing its last statement must not be silenced by its own dedup
+   table). *)
+let flood t ?except ?(force = false) msg =
+  let key = Message.dedup_key msg in
+  if force || not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.replace t.seen key ();
+    let size = Message.size msg in
+    List.iter
+      (fun peer ->
+        if Some peer <> except && peer <> t.index then begin
+          t.floods_forwarded <- t.floods_forwarded + 1;
+          Stellar_sim.Network.send t.network ~src:t.index ~dst:peer ~size msg
+        end)
+      t.peers
+  end
+
+(* A peer still voting on a slot we already closed gets our retained
+   envelopes (and the tx sets they reference) directly — the §6 fix. *)
+let maybe_help_straggler t ~src env =
+  let slot = env.Scp.Types.statement.Scp.Types.slot in
+  let is_externalize =
+    match env.Scp.Types.statement.Scp.Types.pledge with
+    | Scp.Types.Externalize _ -> true
+    | _ -> false
+  in
+  if
+    (not is_externalize)
+    && slot <= Stellar_herder.Herder.ledger_seq t.herder
+    && not (Hashtbl.mem t.helped (src, slot))
+  then begin
+    Hashtbl.replace t.helped (src, slot) ();
+    let envs, tx_sets = Stellar_herder.Herder.help_straggler t.herder ~slot in
+    List.iter
+      (fun ts ->
+        let m = Message.Tx_set_msg ts in
+        Stellar_sim.Network.send t.network ~src:t.index ~dst:src ~size:(Message.size m) m)
+      tx_sets;
+    List.iter
+      (fun e ->
+        let m = Message.Envelope e in
+        Stellar_sim.Network.send t.network ~src:t.index ~dst:src ~size:(Message.size m) m)
+      envs
+  end
+
+let handle t ~src msg =
+  t.floods_seen <- t.floods_seen + 1;
+  let key = Message.dedup_key msg in
+  if not (Hashtbl.mem t.seen key) then begin
+    (* process locally, then forward to our peers (flood with dedup) *)
+    (match msg with
+    | Message.Envelope env ->
+        Stellar_herder.Herder.receive_envelope t.herder env;
+        maybe_help_straggler t ~src env
+    | Message.Tx_set_msg ts -> Stellar_herder.Herder.receive_tx_set t.herder ts
+    | Message.Tx_msg signed -> ignore (Stellar_herder.Herder.receive_tx t.herder signed));
+    flood t ~except:src msg
+  end
+
+let create ~network ~index ~peers ~config ~genesis ?buckets ?headers
+    ?(on_ledger_closed = fun _ -> ()) ?(on_timeout = fun ~kind:_ -> ()) () =
+  let engine = Stellar_sim.Network.engine network in
+  let rec t =
+    lazy
+      (let cb =
+         Stellar_herder.Herder.
+           {
+             broadcast_envelope =
+               (fun env ->
+                 let v = Lazy.force t in
+                 v.own_envelopes <- v.own_envelopes + 1;
+                 flood v ~force:true (Message.Envelope env));
+             broadcast_tx_set = (fun ts -> flood (Lazy.force t) (Message.Tx_set_msg ts));
+             broadcast_tx = (fun signed -> flood (Lazy.force t) (Message.Tx_msg signed));
+             schedule =
+               (fun ~delay f ->
+                 let timer = Stellar_sim.Engine.schedule engine ~delay f in
+                 fun () -> Stellar_sim.Engine.cancel timer);
+             now = (fun () -> Stellar_sim.Engine.now engine);
+             on_ledger_closed;
+             on_timeout;
+           }
+       in
+       {
+         network;
+         index;
+         peers;
+         herder = Stellar_herder.Herder.create config cb ~genesis ?buckets ?headers ();
+         seen = Hashtbl.create 1024;
+         helped = Hashtbl.create 64;
+         floods_seen = 0;
+         floods_forwarded = 0;
+         own_envelopes = 0;
+       })
+  in
+  let t = Lazy.force t in
+  Stellar_sim.Network.set_handler network index (fun ~src msg -> handle t ~src msg);
+  t
+
+let start t = Stellar_herder.Herder.start t.herder
+let stop t = Stellar_herder.Herder.stop t.herder
+
+let submit_tx t signed =
+  match Stellar_herder.Herder.submit_tx t.herder signed with `Queued | `Duplicate -> ()

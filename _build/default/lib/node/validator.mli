@@ -1,0 +1,34 @@
+(** A full validator on the simulated overlay: a {!Stellar_herder.Herder}
+    wired to peers through flood-with-dedup gossip (Fig. 5's stellar-core
+    box, minus the SQL database). *)
+
+type t
+
+val create :
+  network:Message.t Stellar_sim.Network.t ->
+  index:int ->
+  peers:int list ->
+  config:Stellar_herder.Herder.config ->
+  genesis:Stellar_ledger.State.t ->
+  ?buckets:Stellar_bucket.Bucket_list.t ->
+  ?headers:Stellar_ledger.Header.t list ->
+  ?on_ledger_closed:(Stellar_herder.Herder.ledger_stats -> unit) ->
+  ?on_timeout:(kind:[ `Nomination | `Ballot ] -> unit) ->
+  unit ->
+  t
+
+val index : t -> int
+val herder : t -> Stellar_herder.Herder.t
+val node_id : t -> Scp.Types.node_id
+val start : t -> unit
+val stop : t -> unit
+
+val submit_tx : t -> Stellar_ledger.Tx.signed -> unit
+(** Client-facing submission (what horizon forwards, Fig. 5). *)
+
+val floods_seen : t -> int
+val floods_forwarded : t -> int
+
+val own_envelopes : t -> int
+(** SCP envelopes this validator itself emitted (the paper's 6-7 logical
+    messages per ledger, §7.2). *)

@@ -1,0 +1,1 @@
+lib/quorum/criticality.ml: Intersection List Network_config

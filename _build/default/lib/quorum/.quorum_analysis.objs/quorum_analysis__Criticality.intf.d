@@ -1,0 +1,1 @@
+lib/quorum/criticality.mli: Intersection Network_config

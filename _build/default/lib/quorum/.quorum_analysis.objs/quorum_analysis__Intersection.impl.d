@@ -1,0 +1,1 @@
+lib/quorum/intersection.ml: List Network_config Scp Set String

@@ -1,0 +1,1 @@
+lib/quorum/intersection.mli: Network_config

@@ -1,0 +1,1 @@
+lib/quorum/network_config.ml: List Map Scp Set String

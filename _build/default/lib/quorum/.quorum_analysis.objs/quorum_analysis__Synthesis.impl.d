@@ -1,0 +1,1 @@
+lib/quorum/synthesis.ml: Format List Network_config Printf Scp

@@ -1,0 +1,1 @@
+lib/quorum/synthesis.mli: Format Network_config Scp

@@ -1,0 +1,10 @@
+(** Array-backed binary min-heap (the event queue of {!Engine}). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

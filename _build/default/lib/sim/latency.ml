@@ -1,0 +1,17 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Jittered of { base : float; jitter : float; spike_prob : float; spike : float }
+
+let datacenter = Uniform { lo = 0.0005; hi = 0.0015 }
+
+let wide_area =
+  Jittered { base = 0.03; jitter = 0.09; spike_prob = 0.001; spike = 1.5 }
+
+let sample t rng =
+  match t with
+  | Constant d -> d
+  | Uniform { lo; hi } -> lo +. Rng.float rng (hi -. lo)
+  | Jittered { base; jitter; spike_prob; spike } ->
+      let d = base +. Rng.float rng jitter in
+      if Rng.float rng 1.0 < spike_prob then d +. Rng.float rng spike else d

@@ -1,0 +1,24 @@
+(** Link-latency models for the simulated overlay.
+
+    The paper's controlled experiments ran in one EC2 region (sub-millisecond
+    RTT, 10 Gbps); the production network spans the public Internet.  The
+    models below cover both regimes plus a heavy-tailed variant used for the
+    timeout study (Fig. 8). *)
+
+type t =
+  | Constant of float  (** every message takes exactly [d] seconds *)
+  | Uniform of { lo : float; hi : float }
+  | Jittered of {
+      base : float;
+      jitter : float;  (** uniform extra delay in [\[0, jitter)] *)
+      spike_prob : float;  (** probability of a heavy-tail spike *)
+      spike : float;  (** extra delay when a spike occurs *)
+    }
+
+val datacenter : t
+(** Same-region EC2-like: ~0.5–1.5 ms. *)
+
+val wide_area : t
+(** Public-Internet-like: ~30–120 ms with occasional spikes. *)
+
+val sample : t -> Rng.t -> float

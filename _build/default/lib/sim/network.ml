@@ -1,0 +1,87 @@
+type stats = {
+  mutable msgs_sent : int;
+  mutable msgs_received : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  latency : Latency.t;
+  processing : int -> float;
+  busy_until : float array;  (* receiver CPU queue *)
+  handlers : (src:int -> 'msg -> unit) option array;
+  down : bool array;
+  node_stats : stats array;
+  mutable partition : int -> int;
+  mutable loss_rate : float;
+  mutable total : int;
+}
+
+let create ~engine ~rng ~n ~latency ?(processing = fun _ -> 0.0) () =
+  {
+    engine;
+    rng;
+    latency;
+    processing;
+    busy_until = Array.make n 0.0;
+    handlers = Array.make n None;
+    down = Array.make n false;
+    node_stats =
+      Array.init n (fun _ ->
+          { msgs_sent = 0; msgs_received = 0; bytes_sent = 0; bytes_received = 0 });
+    partition = (fun _ -> 0);
+    loss_rate = 0.0;
+    total = 0;
+  }
+
+let size t = Array.length t.handlers
+let engine t = t.engine
+let set_handler t i f = t.handlers.(i) <- Some f
+let set_down t i b = t.down.(i) <- b
+let is_down t i = t.down.(i)
+let set_partition t f = t.partition <- f
+let set_loss_rate t r = t.loss_rate <- r
+let stats t i = t.node_stats.(i)
+let total_messages t = t.total
+
+let send t ~src ~dst ~size:bytes msg =
+  if not t.down.(src) then begin
+    let s = t.node_stats.(src) in
+    s.msgs_sent <- s.msgs_sent + 1;
+    s.bytes_sent <- s.bytes_sent + bytes;
+    t.total <- t.total + 1;
+    let dropped =
+      t.partition src <> t.partition dst
+      || (t.loss_rate > 0.0 && Rng.float t.rng 1.0 < t.loss_rate)
+    in
+    if not dropped then begin
+      let link = if src = dst then 0.0 else Latency.sample t.latency t.rng in
+      let deliver () =
+        (* Down-ness and handlers are re-checked at delivery time: a node may
+           crash while messages are in flight. *)
+        if not t.down.(dst) then
+          match t.handlers.(dst) with
+          | None -> ()
+          | Some h ->
+              let r = t.node_stats.(dst) in
+              r.msgs_received <- r.msgs_received + 1;
+              r.bytes_received <- r.bytes_received + bytes;
+              h ~src msg
+      in
+      (* The receiver's CPU queue is FIFO in ARRIVAL order: the busy-time
+         accounting runs when the message arrives (engine events fire in
+         time order), so an in-flight straggler never blocks messages that
+         land before it. *)
+      let on_arrival () =
+        let now = Engine.now t.engine in
+        let start = Float.max now t.busy_until.(dst) in
+        let finish = start +. t.processing bytes in
+        t.busy_until.(dst) <- finish;
+        if finish > now then ignore (Engine.schedule t.engine ~delay:(finish -. now) deliver)
+        else deliver ()
+      in
+      ignore (Engine.schedule t.engine ~delay:link on_arrival)
+    end
+  end

@@ -1,0 +1,53 @@
+(** Simulated point-to-point message network.
+
+    Nodes are integer indices [0 .. n-1].  Messages are delivered through the
+    {!Engine} after a sampled link latency; crashed nodes and network
+    partitions silently drop traffic, as a real lossy network would.  Byte
+    and message counters feed the resource-usage experiment (§7.4). *)
+
+type 'msg t
+
+type stats = {
+  mutable msgs_sent : int;
+  mutable msgs_received : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+val create :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  n:int ->
+  latency:Latency.t ->
+  ?processing:(int -> float) ->
+  unit ->
+  'msg t
+(** [processing size] models the receiver's per-message CPU cost
+    (deserialization + signature verification) in seconds; messages queue
+    at a busy receiver.  This is what makes consensus latency grow with the
+    validator count (Fig. 11) — with free message processing it would not.
+    Default: no cost. *)
+
+val size : 'msg t -> int
+val engine : 'msg t -> Engine.t
+
+val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+
+val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
+(** Queue a message for delivery.  [size] is the serialized size in bytes,
+    used only for accounting.  Self-sends are delivered with zero latency. *)
+
+val set_down : 'msg t -> int -> bool -> unit
+(** A down node neither sends nor receives. *)
+
+val is_down : 'msg t -> int -> bool
+
+val set_partition : 'msg t -> (int -> int) -> unit
+(** Assign each node to a partition group; messages between different groups
+    are dropped.  [set_partition t (fun _ -> 0)] heals the network. *)
+
+val set_loss_rate : 'msg t -> float -> unit
+(** Independent per-message drop probability. *)
+
+val stats : 'msg t -> int -> stats
+val total_messages : 'msg t -> int

@@ -1,0 +1,1 @@
+test/scp_harness.ml: Array Driver List Printf Protocol Scp Stellar_crypto Stellar_sim String Types

@@ -1,0 +1,78 @@
+open Baseline_pbft
+
+let setup ?(n = 4) ?(latency = Stellar_sim.Latency.datacenter) () =
+  let engine = Stellar_sim.Engine.create () in
+  let rng = Stellar_sim.Rng.create ~seed:11 in
+  let decisions = Hashtbl.create 16 in
+  let cluster =
+    Pbft.create ~engine ~rng ~n ~latency
+      ~on_decide:(fun ~seq value ->
+        Hashtbl.replace decisions seq
+          (value :: Option.value ~default:[] (Hashtbl.find_opt decisions seq)))
+      ()
+  in
+  (engine, cluster, decisions)
+
+let tests =
+  let open Alcotest in
+  [
+    test_case "4 replicas decide a value" `Quick (fun () ->
+        let engine, cluster, decisions = setup () in
+        Pbft.propose cluster "block-1";
+        Stellar_sim.Engine.run ~until:10.0 engine;
+        match Hashtbl.find_opt decisions 1 with
+        | Some values ->
+            check int "all four replicas decided" 4 (List.length values);
+            check bool "same value" true (List.for_all (String.equal "block-1") values)
+        | None -> fail "no decision");
+    test_case "sequence of proposals decides in order" `Quick (fun () ->
+        let engine, cluster, _ = setup () in
+        for i = 1 to 5 do
+          ignore
+            (Stellar_sim.Engine.schedule engine ~delay:(float_of_int i) (fun () ->
+                 Pbft.propose cluster (Printf.sprintf "block-%d" i)))
+        done;
+        Stellar_sim.Engine.run ~until:30.0 engine;
+        let log = Pbft.decided cluster 1 in
+        check int "five decisions" 5 (List.length log);
+        List.iteri
+          (fun i (seq, v) ->
+            check int "ordered" (i + 1) seq;
+            check string "value" (Printf.sprintf "block-%d" (i + 1)) v)
+          log);
+    test_case "primary crash triggers view change, still decides" `Quick (fun () ->
+        let engine, cluster, decisions = setup () in
+        check int "initial primary" 0 (Pbft.primary cluster);
+        Pbft.crash cluster 0;
+        Pbft.propose cluster "after-crash";
+        Stellar_sim.Engine.run ~until:30.0 engine;
+        check bool "view advanced" true (Pbft.view cluster > 0);
+        let decided =
+          Hashtbl.fold (fun _ vs acc -> acc + List.length vs) decisions 0
+        in
+        check bool "live replicas decided" true (decided >= 3));
+    test_case "message complexity is O(n^2)" `Quick (fun () ->
+        let _, c4, _ = setup ~n:4 () in
+        let engine4, _, _ = ((), (), ()) in
+        ignore engine4;
+        let e1, cluster7, _ = setup ~n:7 () in
+        ignore c4;
+        Pbft.propose cluster7 "x";
+        Stellar_sim.Engine.run ~until:10.0 e1;
+        let m7 = Pbft.message_count cluster7 in
+        let e2, cluster4, _ = setup ~n:4 () in
+        Pbft.propose cluster4 "x";
+        Stellar_sim.Engine.run ~until:10.0 e2;
+        let m4 = Pbft.message_count cluster4 in
+        check bool "grows superlinearly" true (float_of_int m7 > 1.8 *. float_of_int m4));
+    test_case "n < 4 rejected" `Quick (fun () ->
+        let engine = Stellar_sim.Engine.create () in
+        let rng = Stellar_sim.Rng.create ~seed:1 in
+        check_raises "too small" (Invalid_argument "Pbft.create: need n >= 4") (fun () ->
+            ignore
+              (Pbft.create ~engine ~rng ~n:3 ~latency:Stellar_sim.Latency.datacenter
+                 ~on_decide:(fun ~seq:_ _ -> ())
+                 ())));
+  ]
+
+let () = Alcotest.run "baseline" [ ("pbft", tests) ]

@@ -1,0 +1,155 @@
+open Stellar_bucket
+open Stellar_ledger
+
+let acct i balance =
+  Entry.new_account ~id:(Stellar_crypto.Sha256.digest (Printf.sprintf "acct%d" i)) ~balance ~seq_num:0
+
+let item_of i balance =
+  let a = acct i balance in
+  { Bucket.key = Entry.Account_key a.Entry.id; entry = Some (Entry.Account_entry a) }
+
+let dead_of i =
+  let a = acct i 0 in
+  { Bucket.key = Entry.Account_key a.Entry.id; entry = None }
+
+let bucket_tests =
+  let open Alcotest in
+  [
+    test_case "of_items sorts and dedups (last wins)" `Quick (fun () ->
+        let b = Bucket.of_items [ item_of 3 1; item_of 1 1; item_of 3 99; item_of 2 1 ] in
+        check int "three items" 3 (Bucket.size b);
+        match Bucket.find b (Entry.Account_key (acct 3 0).Entry.id) with
+        | Some { entry = Some (Entry.Account_entry a); _ } ->
+            check int "latest balance" 99 a.Entry.balance
+        | _ -> fail "missing");
+    test_case "hash deterministic and content-sensitive" `Quick (fun () ->
+        let b1 = Bucket.of_items [ item_of 1 5; item_of 2 5 ] in
+        let b2 = Bucket.of_items [ item_of 2 5; item_of 1 5 ] in
+        let b3 = Bucket.of_items [ item_of 1 5; item_of 2 6 ] in
+        check bool "order independent" true (Bucket.hash b1 = Bucket.hash b2);
+        check bool "content sensitive" false (Bucket.hash b1 = Bucket.hash b3));
+    test_case "merge: newer shadows older" `Quick (fun () ->
+        let older = Bucket.of_items [ item_of 1 10; item_of 2 10 ] in
+        let newer = Bucket.of_items [ item_of 1 20 ] in
+        let m = Bucket.merge ~newer ~older ~keep_tombstones:true in
+        check int "two keys" 2 (Bucket.size m);
+        match Bucket.find m (Entry.Account_key (acct 1 0).Entry.id) with
+        | Some { entry = Some (Entry.Account_entry a); _ } -> check int "newer" 20 a.Entry.balance
+        | _ -> fail "missing");
+    test_case "tombstones kept or dropped" `Quick (fun () ->
+        let older = Bucket.of_items [ item_of 1 10 ] in
+        let newer = Bucket.of_items [ dead_of 1 ] in
+        let kept = Bucket.merge ~newer ~older ~keep_tombstones:true in
+        let dropped = Bucket.merge ~newer ~older ~keep_tombstones:false in
+        check int "tombstone kept" 1 (Bucket.size kept);
+        check int "tombstone dropped at bottom" 0 (Bucket.size dropped));
+    test_case "find on empty" `Quick (fun () ->
+        check bool "none" true (Bucket.find Bucket.empty (Entry.Offer_key 1) = None));
+  ]
+
+let bucket_prop =
+  QCheck.Test.make ~name:"merge contains union of keys" ~count:200
+    QCheck.(pair (small_list (int_bound 50)) (small_list (int_bound 50)))
+    (fun (xs, ys) ->
+      let b1 = Bucket.of_items (List.map (fun i -> item_of i 1) xs) in
+      let b2 = Bucket.of_items (List.map (fun i -> item_of i 2) ys) in
+      let m = Bucket.merge ~newer:b1 ~older:b2 ~keep_tombstones:true in
+      let expect = List.sort_uniq Int.compare (xs @ ys) in
+      Bucket.size m = List.length expect)
+
+let list_tests =
+  let open Alcotest in
+  [
+    test_case "hash changes with every batch" `Quick (fun () ->
+        let bl = ref (Bucket_list.create ()) in
+        let seen = Hashtbl.create 16 in
+        for i = 1 to 40 do
+          bl := Bucket_list.add_batch !bl [ item_of i i ];
+          let h = Bucket_list.hash !bl in
+          Alcotest.(check bool) "fresh hash" false (Hashtbl.mem seen h);
+          Hashtbl.replace seen h ()
+        done);
+    test_case "spills push mass to deeper levels" `Quick (fun () ->
+        let bl = ref (Bucket_list.create ~levels:4 ~spill_factor:2 ()) in
+        for i = 1 to 32 do
+          bl := Bucket_list.add_batch !bl [ item_of i 1 ]
+        done;
+        let sizes = Bucket_list.level_sizes !bl in
+        (* deepest level should hold most entries *)
+        let deepest = List.nth sizes 3 in
+        check bool "bottom heavy" true (deepest > List.hd sizes);
+        check int "nothing lost" 32 (List.length (Bucket_list.live_entries !bl)));
+    test_case "find newest version wins across levels" `Quick (fun () ->
+        let bl = ref (Bucket_list.create ~levels:3 ~spill_factor:2 ()) in
+        bl := Bucket_list.add_batch !bl [ item_of 7 1 ];
+        for i = 100 to 110 do
+          bl := Bucket_list.add_batch !bl [ item_of i 1 ]
+        done;
+        bl := Bucket_list.add_batch !bl [ item_of 7 42 ];
+        (match Bucket_list.find !bl (Entry.Account_key (acct 7 0).Entry.id) with
+        | Some { entry = Some (Entry.Account_entry a); _ } ->
+            check int "newest" 42 a.Entry.balance
+        | _ -> fail "missing");
+        (* live view also has exactly one copy *)
+        let live =
+          Bucket_list.live_entries !bl
+          |> List.filter (fun e ->
+                 match e with
+                 | Entry.Account_entry a -> String.equal a.Entry.id (acct 7 0).Entry.id
+                 | _ -> false)
+        in
+        check int "one copy" 1 (List.length live));
+    test_case "deletion tombstone hides entry" `Quick (fun () ->
+        let bl = ref (Bucket_list.create ()) in
+        bl := Bucket_list.add_batch !bl [ item_of 1 5 ];
+        bl := Bucket_list.add_batch !bl [ dead_of 1 ];
+        check int "not live" 0 (List.length (Bucket_list.live_entries !bl)));
+    test_case "diff_levels pinpoints divergence" `Quick (fun () ->
+        let a = ref (Bucket_list.create ()) and b = ref (Bucket_list.create ()) in
+        for i = 1 to 10 do
+          a := Bucket_list.add_batch !a [ item_of i 1 ];
+          b := Bucket_list.add_batch !b [ item_of i 1 ]
+        done;
+        check (list int) "identical" [] (Bucket_list.diff_levels !a !b);
+        a := Bucket_list.add_batch !a [ item_of 99 1 ];
+        b := Bucket_list.add_batch !b [ item_of 98 1 ];
+        check bool "differ somewhere" true (Bucket_list.diff_levels !a !b <> []));
+    test_case "of_state holds the full snapshot" `Quick (fun () ->
+        let master = Stellar_crypto.Sha256.digest "m" in
+        let state = State.genesis ~master ~total_xlm:1000 () in
+        let bl = Bucket_list.of_state state in
+        check int "entries" (List.length (State.all_entries state))
+          (List.length (Bucket_list.live_entries bl)));
+    test_case "reconstruction matches incremental state" `Quick (fun () ->
+        (* apply random account updates both to a State and via batches;
+           live_entries must equal the state's entries *)
+        let master = Stellar_crypto.Sha256.digest "m" in
+        let state = ref (State.genesis ~master ~total_xlm:1_000_000 ()) in
+        let bl = ref (Bucket_list.of_state !state) in
+        let _, cleared = State.take_dirty !state in
+        ignore cleared;
+        for round = 1 to 25 do
+          let a = acct (round mod 7) (round * 10) in
+          state := State.put_account !state a;
+          let s', dirty = State.take_dirty !state in
+          state := s';
+          let batch =
+            List.map (fun key -> { Bucket.key; entry = State.lookup s' key }) dirty
+          in
+          bl := Bucket_list.add_batch !bl batch
+        done;
+        let from_bl =
+          Bucket_list.live_entries !bl |> List.map Entry.encode_entry |> List.sort compare
+        in
+        let from_state =
+          State.all_entries !state |> List.map Entry.encode_entry |> List.sort compare
+        in
+        check bool "same entries" true (from_bl = from_state));
+  ]
+
+let () =
+  Alcotest.run "bucket"
+    [
+      ("bucket", bucket_tests @ [ QCheck_alcotest.to_alcotest bucket_prop ]);
+      ("bucket-list", list_tests);
+    ]

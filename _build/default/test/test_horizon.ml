@@ -1,0 +1,191 @@
+open Stellar_ledger
+open Stellar_horizon
+
+let scheme = (module Stellar_crypto.Sim_sig : Stellar_crypto.Sig_intf.SCHEME
+               with type secret = string)
+
+let keys = Hashtbl.create 16
+
+let key name =
+  match Hashtbl.find_opt keys name with
+  | Some kp -> kp
+  | None ->
+      let kp = Stellar_crypto.Sim_sig.keypair ~seed:(Stellar_crypto.Sha256.digest ("hz-" ^ name)) in
+      Hashtbl.add keys name kp;
+      kp
+
+let pub n = snd (key n)
+let sec n = fst (key n)
+let xlm = Asset.of_units
+let usd () = Asset.credit ~code:"USD" ~issuer:(pub "usd-issuer")
+let mxn () = Asset.credit ~code:"MXN" ~issuer:(pub "mxn-issuer")
+let eur () = Asset.credit ~code:"EUR" ~issuer:(pub "eur-issuer")
+
+let submit state name ops =
+  let source = pub name in
+  let seq = (Option.get (State.account state source)).Entry.seq_num + 1 in
+  let tx = Tx.make ~source ~seq_num:seq ops in
+  let signed = Tx.sign tx ~secret:(sec name) ~public:source ~scheme in
+  let state', outcome = Apply.apply_tx Apply.sim_ctx state signed in
+  if not (Apply.tx_succeeded outcome) then
+    Alcotest.failf "setup tx failed: %a" Apply.pp_tx_outcome outcome;
+  state'
+
+let trust state name asset =
+  submit state name [ Tx.op (Tx.Change_trust { asset; limit = xlm 1_000_000 }) ]
+
+let pay state from dest asset amount =
+  submit state from [ Tx.op (Tx.Payment { destination = pub dest; asset; amount }) ]
+
+let offer state name ~selling ~buying ~amount ~n ~d =
+  submit state name
+    [
+      Tx.op
+        (Tx.Manage_offer
+           {
+             offer_id = 0;
+             selling;
+             buying;
+             amount;
+             price = Price.make ~n ~d;
+             passive = false;
+           });
+    ]
+
+(* A market: USD/XLM and XLM/MXN books plus a direct thin USD/MXN book. *)
+let setup () =
+  Stellar_crypto.Sim_sig.reset ();
+  Hashtbl.reset keys;
+  let master = pub "master" in
+  let state = State.genesis ~master ~total_xlm:(xlm 1_000_000_000) () in
+  let state = State.set_header state ~ledger_seq:2 ~close_time:1000 in
+  let state =
+    List.fold_left
+      (fun state name ->
+        submit state "master"
+          [ Tx.op (Tx.Create_account { destination = pub name; starting_balance = xlm 100_000 }) ])
+      state
+      [ "usd-issuer"; "mxn-issuer"; "eur-issuer"; "mm1"; "mm2"; "mm3"; "alice" ]
+  in
+  let state = trust state "mm1" (usd ()) in
+  let state = pay state "usd-issuer" "mm1" (usd ()) (xlm 100_000) in
+  let state = trust state "mm2" (mxn ()) in
+  let state = pay state "mxn-issuer" "mm2" (mxn ()) (xlm 100_000) in
+  let state = trust state "mm3" (usd ()) in
+  let state = trust state "mm3" (mxn ()) in
+  let state = pay state "mxn-issuer" "mm3" (mxn ()) (xlm 100_000) in
+  (* mm1 buys USD with XLM: sells XLM at 0.5 USD/XLM (1 USD costs 2 XLM) *)
+  let state = offer state "mm1" ~selling:Asset.native ~buying:(usd ()) ~amount:(xlm 10_000) ~n:1 ~d:2 in
+  (* mm2 sells MXN for XLM at 8 MXN/XLM *)
+  let state = offer state "mm2" ~selling:(mxn ()) ~buying:Asset.native ~amount:(xlm 50_000) ~n:1 ~d:8 in
+  (* mm3 also offers a direct USD->MXN conversion, but at a worse rate:
+     sells MXN for USD at 12 MXN per USD (vs 16 via XLM) *)
+  let state = offer state "mm3" ~selling:(mxn ()) ~buying:(usd ()) ~amount:(xlm 50_000) ~n:1 ~d:12 in
+  state
+
+let pathfinder_tests =
+  let open Alcotest in
+  [
+    test_case "direct same-asset route" `Quick (fun () ->
+        let state = setup () in
+        let routes =
+          Pathfinder.find state ~source_assets:[ usd () ] ~dest_asset:(usd ())
+            ~dest_amount:(xlm 5) ()
+        in
+        match routes with
+        | r :: _ ->
+            check int "cost is the amount" (xlm 5) r.Pathfinder.send_amount;
+            check int "no hops" 0 r.Pathfinder.hops
+        | [] -> fail "no route");
+    test_case "one-hop and two-hop routes found, cheapest first" `Quick (fun () ->
+        let state = setup () in
+        let routes =
+          Pathfinder.find state ~source_assets:[ usd () ] ~dest_asset:(mxn ())
+            ~dest_amount:(xlm 16) ()
+        in
+        check bool "at least two routes" true (List.length routes >= 2);
+        let best = List.hd routes in
+        (* via XLM: 16 MXN -> 2 XLM -> 1 USD; direct: 16 MXN at 12/USD ->
+           1.34 USD. The 2-hop route must win. *)
+        check int "best costs 1 USD" (xlm 1) best.Pathfinder.send_amount;
+        check int "via one intermediate" 1 (List.length best.Pathfinder.path);
+        check bool "intermediate is XLM" true
+          (Asset.is_native (List.hd best.Pathfinder.path)));
+    test_case "max_hops prunes longer routes" `Quick (fun () ->
+        let state = setup () in
+        let routes =
+          Pathfinder.find state ~source_assets:[ usd () ] ~dest_asset:(mxn ())
+            ~dest_amount:(xlm 16) ~max_hops:1 ()
+        in
+        check bool "only the direct book" true
+          (List.for_all (fun r -> r.Pathfinder.path = []) routes));
+    test_case "estimate matches executed path payment" `Quick (fun () ->
+        let state = setup () in
+        let routes =
+          Pathfinder.find state ~source_assets:[ usd () ] ~dest_asset:(mxn ())
+            ~dest_amount:(xlm 16) ()
+        in
+        let best = List.hd routes in
+        (* fund alice and execute the suggested path payment *)
+        let state = trust state "alice" (usd ()) in
+        let state = pay state "usd-issuer" "alice" (usd ()) (xlm 10) in
+        let state = trust state "alice" (mxn ()) in
+        let before = (Option.get (State.trustline state (pub "alice") (usd ()))).Entry.tl_balance in
+        let state =
+          submit state "alice"
+            [
+              Tx.op
+                (Tx.Path_payment
+                   {
+                     send_asset = usd ();
+                     send_max = best.Pathfinder.send_amount;
+                     destination = pub "alice";
+                     dest_asset = mxn ();
+                     dest_amount = xlm 16;
+                     path = best.Pathfinder.path;
+                   });
+            ]
+        in
+        let after = (Option.get (State.trustline state (pub "alice") (usd ()))).Entry.tl_balance in
+        check int "spent exactly the estimate" best.Pathfinder.send_amount (before - after));
+    test_case "no route when books are empty" `Quick (fun () ->
+        let state = setup () in
+        let routes =
+          Pathfinder.find state ~source_assets:[ eur () ] ~dest_asset:(mxn ())
+            ~dest_amount:(xlm 1) ()
+        in
+        check int "none" 0 (List.length routes));
+    test_case "thin book limits the route" `Quick (fun () ->
+        let state = setup () in
+        (* ask for more MXN than mm2+mm3 can sell *)
+        let routes =
+          Pathfinder.find state ~source_assets:[ usd () ] ~dest_asset:(mxn ())
+            ~dest_amount:(xlm 200_000) ()
+        in
+        check int "too thin" 0 (List.length routes));
+  ]
+
+let query_tests =
+  let open Alcotest in
+  [
+    test_case "account view" `Quick (fun () ->
+        let state = setup () in
+        match Queries.account state (pub "mm1") with
+        | Some v ->
+            check int "one trustline" 1 (List.length v.Queries.balances);
+            check int "one offer" 1 (List.length v.Queries.offer_ids)
+        | None -> fail "account missing");
+    test_case "order book view aggregates by price" `Quick (fun () ->
+        let state = setup () in
+        let book = Queries.order_book state ~base:(mxn ()) ~quote:Asset.native in
+        check int "one ask level" 1 (List.length book.Queries.asks);
+        check int "no bids" 0 (List.length book.Queries.bids);
+        let lvl = List.hd book.Queries.asks in
+        check int "depth" (xlm 50_000) lvl.Queries.amount);
+    test_case "unknown account" `Quick (fun () ->
+        let state = setup () in
+        check bool "none" true (Queries.account state (Stellar_crypto.Sha256.digest "nobody") = None));
+  ]
+
+let () =
+  Alcotest.run "horizon" [ ("pathfinder", pathfinder_tests); ("queries", query_tests) ]

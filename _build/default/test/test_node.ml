@@ -1,0 +1,514 @@
+(* Integration tests: whole validators over the simulated overlay —
+   consensus + herder + ledger + buckets together. *)
+
+open Stellar_node
+
+let run_scenario ?(n = 4) ?(accounts = 50) ?(rate = 5.0) ?(duration = 30.0) ?(seed = 7)
+    ?(latency = Stellar_sim.Latency.datacenter) ?spec () =
+  let spec = match spec with Some s -> s | None -> Topology.all_to_all ~n in
+  Scenario.run
+    {
+      (Scenario.default ~spec) with
+      Scenario.n_accounts = accounts;
+      tx_rate = rate;
+      duration;
+      seed;
+      latency;
+    }
+
+let integration_tests =
+  let open Alcotest in
+  [
+    test_case "ledgers close on the 5s cadence" `Quick (fun () ->
+        let r = run_scenario () in
+        check bool "at least 5 ledgers" true (r.Scenario.ledgers_closed >= 5);
+        check bool "no divergence" false r.Scenario.diverged;
+        let ci = r.Scenario.close_interval.Metrics.mean in
+        check bool "close interval ~5s" true (ci >= 4.9 && ci < 5.6));
+    test_case "all submitted payments eventually apply" `Quick (fun () ->
+        let r = run_scenario ~rate:10.0 ~duration:40.0 () in
+        check int "none dropped" r.Scenario.txs_submitted r.Scenario.txs_applied);
+    test_case "consensus latency well under the 5s target" `Quick (fun () ->
+        let r = run_scenario () in
+        check bool "nomination+balloting < 1s on datacenter links" true
+          (r.Scenario.nomination.Metrics.mean +. r.Scenario.balloting.Metrics.mean < 1.0));
+    test_case "~7 SCP envelopes per ledger in the fault-free case" `Quick (fun () ->
+        let r = run_scenario () in
+        check bool "6..10 envelopes" true
+          (r.Scenario.envelopes_per_ledger >= 5.0 && r.Scenario.envelopes_per_ledger <= 10.0));
+    test_case "tiered topology with watchers stays consistent" `Quick (fun () ->
+        let spec, _ = Topology.tiered ~leaves:4 () in
+        let r = run_scenario ~spec ~duration:25.0 ~latency:Stellar_sim.Latency.wide_area () in
+        check bool "closed ledgers" true (r.Scenario.ledgers_closed >= 3);
+        check bool "no divergence" false r.Scenario.diverged);
+    test_case "validator count sweep keeps safety" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let r = run_scenario ~n ~duration:20.0 ~rate:2.0 () in
+            check bool (Printf.sprintf "n=%d closes" n) true (r.Scenario.ledgers_closed >= 2);
+            check bool (Printf.sprintf "n=%d agrees" n) false r.Scenario.diverged)
+          [ 4; 7; 10 ]);
+    test_case "identical seeds give bit-identical runs (reproducibility)" `Quick
+      (fun () ->
+        let r1 = run_scenario ~seed:99 ~duration:20.0 () in
+        let r2 = run_scenario ~seed:99 ~duration:20.0 () in
+        check int "same ledgers" r1.Scenario.ledgers_closed r2.Scenario.ledgers_closed;
+        check int "same txs applied" r1.Scenario.txs_applied r2.Scenario.txs_applied;
+        check int "same final seq" r1.Scenario.final_ledger_seq r2.Scenario.final_ledger_seq;
+        check (float 1e-12) "same nomination mean" r1.Scenario.nomination.Metrics.mean
+          r2.Scenario.nomination.Metrics.mean);
+    test_case "wide-area latency still beats the close target" `Quick (fun () ->
+        let r = run_scenario ~latency:Stellar_sim.Latency.wide_area () in
+        check bool "closes" true (r.Scenario.ledgers_closed >= 4);
+        check bool "total < interval" true (r.Scenario.total.Metrics.mean < 5.0));
+  ]
+
+(* crash / partition behaviour uses the pieces directly *)
+let fault_tests =
+  let open Alcotest in
+  [
+    test_case "crashed minority does not stop the network" `Quick (fun () ->
+        let spec = Topology.all_to_all ~n:4 in
+        let engine = Stellar_sim.Engine.create () in
+        let rng = Stellar_sim.Rng.create ~seed:3 in
+        let network = Stellar_sim.Network.create ~engine ~rng ~n:4 ~latency:Stellar_sim.Latency.datacenter () in
+        let genesis, _ = Genesis.make ~n_accounts:10 () in
+        let mk i =
+          Validator.create ~network ~index:i
+            ~peers:(spec.Topology.peers_of i)
+            ~config:
+              (Stellar_herder.Herder.default_config ~seed:(spec.Topology.validator_seed i)
+                 ~qset:(spec.Topology.qset_of i))
+            ~genesis ()
+        in
+        let vs = Array.init 4 mk in
+        Array.iter Validator.start vs;
+        (* run 3 ledgers, crash one validator, run more *)
+        Stellar_sim.Engine.run ~until:16.0 engine;
+        Stellar_sim.Network.set_down network 3 true;
+        Stellar_sim.Engine.run ~until:60.0 engine;
+        let seq i = Stellar_herder.Herder.ledger_seq (Validator.herder vs.(i)) in
+        check bool "survivors progressed past crash" true (seq 0 >= 8);
+        check bool "agree" true (seq 0 = seq 1 && seq 1 = seq 2));
+    test_case "partitioned majority continues, minority halts safely" `Quick (fun () ->
+        let spec = Topology.all_to_all ~n:5 in
+        let engine = Stellar_sim.Engine.create () in
+        let rng = Stellar_sim.Rng.create ~seed:4 in
+        let network = Stellar_sim.Network.create ~engine ~rng ~n:5 ~latency:Stellar_sim.Latency.datacenter () in
+        let genesis, _ = Genesis.make ~n_accounts:10 () in
+        let mk i =
+          Validator.create ~network ~index:i
+            ~peers:(spec.Topology.peers_of i)
+            ~config:
+              (Stellar_herder.Herder.default_config ~seed:(spec.Topology.validator_seed i)
+                 ~qset:(spec.Topology.qset_of i))
+            ~genesis ()
+        in
+        let vs = Array.init 5 mk in
+        Array.iter Validator.start vs;
+        Stellar_sim.Engine.run ~until:12.0 engine;
+        (* 3-2 partition *)
+        Stellar_sim.Network.set_partition network (fun i -> if i < 3 then 0 else 1);
+        Stellar_sim.Engine.run ~until:60.0 engine;
+        let seq i = Stellar_herder.Herder.ledger_seq (Validator.herder vs.(i)) in
+        let majority = seq 0 in
+        let minority = seq 3 in
+        check bool "majority progressed" true (majority > minority);
+        (* the minority must not have closed a conflicting ledger: its chain
+           is a strict prefix of the majority's *)
+        let chain i =
+          List.rev_map Stellar_ledger.Header.hash
+            (Stellar_herder.Herder.headers (Validator.herder vs.(i)))
+        in
+        let rec is_prefix a b =
+          match (a, b) with
+          | [], _ -> true
+          | x :: a', y :: b' -> String.equal x y && is_prefix a' b'
+          | _, [] -> false
+        in
+        check bool "minority chain is a prefix" true (is_prefix (chain 3) (chain 0));
+        (* heal the partition: peers help the stragglers finish the old
+           slots (the §6 fix), so the minority catches up ledger by ledger *)
+        Stellar_sim.Network.set_partition network (fun _ -> 0);
+        Stellar_sim.Engine.run ~until:130.0 engine;
+        check bool "minority caught up after heal" true (seq 3 >= seq 0 - 1);
+        check bool "chains consistent after heal" true
+          (is_prefix (chain 3) (chain 0) || is_prefix (chain 0) (chain 3)));
+    test_case "surge pricing under congestion (§5.2)" `Quick (fun () ->
+        (* cap ledgers at 5 operations; submit 15 competing 1-op payments
+           with tiered fees; the expensive ones must land first *)
+        let spec = Topology.all_to_all ~n:4 in
+        let engine = Stellar_sim.Engine.create () in
+        let rng = Stellar_sim.Rng.create ~seed:23 in
+        let network = Stellar_sim.Network.create ~engine ~rng ~n:4 ~latency:Stellar_sim.Latency.datacenter () in
+        let genesis, accounts = Genesis.make ~n_accounts:15 () in
+        let ledger_txs = ref [] in
+        let v = ref None in
+        let on_ledger_closed stats =
+          match !v with
+          | Some validator ->
+              let herder = Validator.herder validator in
+              let ts =
+                Stellar_herder.Herder.tx_set herder
+                  stats.Stellar_herder.Herder.header.Stellar_ledger.Header.tx_set_hash
+              in
+              Option.iter
+                (fun ts -> ledger_txs := Stellar_herder.Tx_set.txs ts :: !ledger_txs)
+                ts
+          | None -> ()
+        in
+        let mk i =
+          let config =
+            {
+              (Stellar_herder.Herder.default_config ~seed:(spec.Topology.validator_seed i)
+                 ~qset:(spec.Topology.qset_of i))
+              with
+              Stellar_herder.Herder.max_ops_per_ledger = 5;
+            }
+          in
+          Validator.create ~network ~index:i ~peers:(spec.Topology.peers_of i) ~config
+            ~genesis
+            ~on_ledger_closed:(if i = 0 then on_ledger_closed else fun _ -> ())
+            ()
+        in
+        let vs = Array.init 4 mk in
+        v := Some vs.(0);
+        Array.iter Validator.start vs;
+        let scheme = (module Stellar_crypto.Sim_sig : Stellar_crypto.Sig_intf.SCHEME with type secret = string) in
+        (* 15 payments: fees 100..1500 stroops, all submitted up front *)
+        Array.iteri
+          (fun i (a : Genesis.account) ->
+            let tx =
+              Stellar_ledger.Tx.make ~source:a.Genesis.public ~seq_num:1
+                ~fee:(100 * (i + 1))
+                [
+                  Stellar_ledger.Tx.op
+                    (Stellar_ledger.Tx.Payment
+                       {
+                         destination = accounts.((i + 1) mod 15).Genesis.public;
+                         asset = Stellar_ledger.Asset.native;
+                         amount = 10;
+                       });
+                ]
+            in
+            Validator.submit_tx vs.(0)
+              (Stellar_ledger.Tx.sign tx ~secret:a.Genesis.secret ~public:a.Genesis.public
+                 ~scheme))
+          accounts;
+        Stellar_sim.Engine.run ~until:21.0 engine;
+        let ledgers = List.rev !ledger_txs in
+        let nonempty = List.filter (fun l -> l <> []) ledgers in
+        check bool "needed multiple ledgers" true (List.length nonempty >= 2);
+        (* the first non-empty ledger must carry the highest-fee txs *)
+        let first = List.hd nonempty in
+        let fees = List.map (fun s -> s.Stellar_ledger.Tx.tx.Stellar_ledger.Tx.fee) first in
+        check int "full ledger" 5 (List.length fees);
+        List.iter
+          (fun f -> check bool (Printf.sprintf "fee %d in top tier" f) true (f >= 1100))
+          fees);
+    test_case "misconfigured disjoint cliques diverge at the ledger level (§6)" `Quick
+      (fun () ->
+        (* the incident §6 guards against: two cliques that do not reference
+           each other each confirm their own, conflicting ledgers.  (With
+           identical inputs the halves can agree by accident, so each clique
+           governs a different upgrade to make the conflict real.)  The
+           quorum doctor flags the configuration up front. *)
+        let base = Topology.all_to_all ~n:6 in
+        let ids = Topology.node_ids base in
+        let qset_of i =
+          if i < 3 then Scp.Quorum_set.majority [ ids.(0); ids.(1); ids.(2) ]
+          else Scp.Quorum_set.majority [ ids.(3); ids.(4); ids.(5) ]
+        in
+        let engine = Stellar_sim.Engine.create () in
+        let rng = Stellar_sim.Rng.create ~seed:13 in
+        let network =
+          Stellar_sim.Network.create ~engine ~rng ~n:6
+            ~latency:Stellar_sim.Latency.datacenter ()
+        in
+        let genesis, _ = Genesis.make ~n_accounts:10 () in
+        let vs =
+          Array.init 6 (fun i ->
+              let fee = if i < 3 then 150 else 250 in
+              Validator.create ~network ~index:i ~peers:(base.Topology.peers_of i)
+                ~config:
+                  {
+                    (Stellar_herder.Herder.default_config
+                       ~seed:(base.Topology.validator_seed i) ~qset:(qset_of i))
+                    with
+                    Stellar_herder.Herder.is_governing = true;
+                    desired_upgrades = [ Stellar_herder.Value.Upgrade_base_fee fee ];
+                  }
+                ~genesis ())
+        in
+        Array.iter Validator.start vs;
+        Stellar_sim.Engine.run ~until:40.0 engine;
+        let fee i =
+          Stellar_ledger.State.base_fee
+            (Stellar_herder.Herder.state (Validator.herder vs.(i)))
+        in
+        let seq i = Stellar_herder.Herder.ledger_seq (Validator.herder vs.(i)) in
+        check bool "both halves made progress" true (seq 0 >= 4 && seq 3 >= 4);
+        check bool "conflicting global parameters confirmed" true (fee 0 <> fee 3);
+        (* the §6.2 checker catches the misconfiguration statically *)
+        let spec = { base with Topology.qset_of } in
+        let config = Topology.network_config spec in
+        match Quorum_analysis.Intersection.check config with
+        | Quorum_analysis.Intersection.Disjoint _ -> ()
+        | _ -> fail "doctor failed to flag the split-brain configuration");
+    test_case "leaf watcher tracks without validating" `Quick (fun () ->
+        let spec, _ = Topology.tiered ~leaves:1 () in
+        let n = spec.Topology.n_nodes in
+        let r = run_scenario ~spec ~duration:20.0 ~rate:2.0 () in
+        ignore n;
+        check bool "network closed ledgers" true (r.Scenario.ledgers_closed >= 2));
+  ]
+
+(* ---------- archive + catchup ---------- *)
+
+let archive_tests =
+  let open Alcotest in
+  [
+    test_case "record, find, catch up to tip" `Quick (fun () ->
+        (* drive a single-validator network and archive its ledgers, then
+           bootstrap a state from the archive and compare hashes *)
+        let engine = Stellar_sim.Engine.create () in
+        let rng = Stellar_sim.Rng.create ~seed:5 in
+        let network = Stellar_sim.Network.create ~engine ~rng ~n:1 ~latency:(Stellar_sim.Latency.Constant 0.001) () in
+        let genesis, accounts = Genesis.make ~n_accounts:20 () in
+        let archive = Stellar_archive.Archive.create ~checkpoint_frequency:4 () in
+        let spec = Topology.all_to_all ~n:1 in
+        let recorded = ref [] in
+        let v = ref None in
+        let on_ledger_closed stats =
+          recorded := stats :: !recorded;
+          match !v with
+          | Some validator ->
+              let herder = Validator.herder validator in
+              let header = stats.Stellar_herder.Herder.header in
+              let ts =
+                Option.get
+                  (Stellar_herder.Herder.tx_set herder header.Stellar_ledger.Header.tx_set_hash)
+              in
+              Stellar_archive.Archive.record_ledger archive ~header ~tx_set:ts
+                ~buckets:(Stellar_herder.Herder.buckets herder)
+          | None -> ()
+        in
+        let validator =
+          Validator.create ~network ~index:0 ~peers:[]
+            ~config:
+              (Stellar_herder.Herder.default_config ~seed:(spec.Topology.validator_seed 0)
+                 ~qset:(Scp.Quorum_set.singleton (Topology.node_ids spec).(0)))
+            ~genesis ~on_ledger_closed ()
+        in
+        v := Some validator;
+        Validator.start validator;
+        (* submit some payments *)
+        let scheme = (module Stellar_crypto.Sim_sig : Stellar_crypto.Sig_intf.SCHEME with type secret = string) in
+        for i = 0 to 9 do
+          let src = accounts.(i) and dst = accounts.((i + 1) mod 20) in
+          let tx =
+            Stellar_ledger.Tx.make ~source:src.Genesis.public ~seq_num:1
+              [
+                Stellar_ledger.Tx.op
+                  (Stellar_ledger.Tx.Payment
+                     {
+                       destination = dst.Genesis.public;
+                       asset = Stellar_ledger.Asset.native;
+                       amount = 100;
+                     });
+              ]
+          in
+          let signed =
+            Stellar_ledger.Tx.sign tx ~secret:src.Genesis.secret ~public:src.Genesis.public
+              ~scheme
+          in
+          ignore
+            (Stellar_sim.Engine.schedule engine ~delay:(float_of_int i) (fun () ->
+                 Validator.submit_tx validator signed))
+        done;
+        Stellar_sim.Engine.run ~until:62.0 engine;
+        Validator.stop validator;
+        check bool "archived some ledgers" true
+          (Option.value ~default:0 (Stellar_archive.Archive.latest_seq archive) >= 10);
+        check bool "has checkpoints" true (Stellar_archive.Archive.checkpoint_count archive >= 2);
+        (* catchup *)
+        (match Stellar_archive.Archive.catchup archive with
+        | Error e -> fail e
+        | Ok (state, chain) ->
+            let live = Stellar_herder.Herder.state (Validator.herder validator) in
+            check bool "caught-up state matches live snapshot" true
+              (String.equal
+                 (Stellar_ledger.State.snapshot_hash state)
+                 (Stellar_ledger.State.snapshot_hash live));
+            check bool "chain verified" true (Stellar_ledger.Header.verify_chain chain));
+        (* tx lookup by hash *)
+        let src = accounts.(0) in
+        let tx =
+          Stellar_ledger.Tx.make ~source:src.Genesis.public ~seq_num:1
+            [
+              Stellar_ledger.Tx.op
+                (Stellar_ledger.Tx.Payment
+                   {
+                     destination = accounts.(1).Genesis.public;
+                     asset = Stellar_ledger.Asset.native;
+                     amount = 100;
+                   });
+            ]
+        in
+        match Stellar_archive.Archive.find_tx archive (Stellar_ledger.Tx.hash tx) with
+        | Some (seq, _) -> check bool "found in an early ledger" true (seq >= 2)
+        | None -> fail "tx not found in archive");
+    test_case "out-of-order publication rejected" `Quick (fun () ->
+        let archive = Stellar_archive.Archive.create () in
+        let genesis, _ = Genesis.make ~n_accounts:1 () in
+        let buckets = Stellar_bucket.Bucket_list.of_state genesis in
+        let mk seq =
+          let state = Stellar_ledger.State.set_header genesis ~ledger_seq:seq ~close_time:seq in
+          Stellar_ledger.Header.make ~prev:None ~scp_value_hash:"v" ~tx_set_hash:"t"
+            ~results_hash:"r" ~snapshot_hash:(Stellar_bucket.Bucket_list.hash buckets) ~state
+        in
+        let ts = Stellar_herder.Tx_set.make ~prev_header_hash:"p" [] in
+        Stellar_archive.Archive.record_ledger archive ~header:(mk 2) ~tx_set:ts ~buckets;
+        check_raises "gap rejected"
+          (Invalid_argument "Archive.record_ledger: out of order (5 after 2)") (fun () ->
+            Stellar_archive.Archive.record_ledger archive ~header:(mk 5) ~tx_set:ts ~buckets));
+  ]
+
+(* ---------- topology & genesis ---------- *)
+
+let topo_tests =
+  let open Alcotest in
+  [
+    test_case "all_to_all shape" `Quick (fun () ->
+        let spec = Topology.all_to_all ~n:5 in
+        check int "nodes" 5 spec.Topology.n_nodes;
+        check int "peers" 4 (List.length (spec.Topology.peers_of 0));
+        check int "majority threshold" 3 (spec.Topology.qset_of 0).Scp.Quorum_set.threshold);
+    test_case "tiered default has 17 tier-1 validators" `Quick (fun () ->
+        let _, orgs = Topology.tiered () in
+        let tier1 =
+          List.filter (fun o -> o.Quorum_analysis.Synthesis.quality = Quorum_analysis.Synthesis.Critical) orgs
+        in
+        let n = List.fold_left (fun acc o -> acc + List.length o.Quorum_analysis.Synthesis.validators) 0 tier1 in
+        check int "17 tier-1" 17 n);
+    test_case "tiered config enjoys quorum intersection" `Quick (fun () ->
+        let spec, _ = Topology.tiered () in
+        let config = Topology.network_config spec in
+        check bool "intersecting" true
+          (Quorum_analysis.Intersection.check config = Quorum_analysis.Intersection.Intersecting));
+    test_case "genesis conserves the total supply" `Quick (fun () ->
+        let state, accounts = Genesis.make ~n_accounts:100 () in
+        check int "accounts + master" 101 (Stellar_ledger.State.account_count state);
+        check int "supply" (Stellar_ledger.Asset.of_units 1_000_000_000_000)
+          (Stellar_ledger.State.total_native state);
+        check bool "keys distinct" true
+          (Array.length accounts
+          = List.length
+              (List.sort_uniq String.compare
+                 (Array.to_list (Array.map (fun a -> a.Genesis.public) accounts)))));
+  ]
+
+
+(* ---------- archive-bootstrap join (§5.4) ---------- *)
+
+let join_tests =
+  let open Alcotest in
+  [
+    test_case "new node bootstraps from the archive and joins the network" `Quick
+      (fun () ->
+        (* 4 founding validators run and publish to an archive; later a 5th
+           node catches up from the archive and starts tracking the live
+           network in agreement *)
+        let n = 5 in
+        let engine = Stellar_sim.Engine.create () in
+        let rng = Stellar_sim.Rng.create ~seed:17 in
+        let network =
+          Stellar_sim.Network.create ~engine ~rng ~n
+            ~latency:Stellar_sim.Latency.datacenter ()
+        in
+        let genesis, _ = Genesis.make ~n_accounts:10 () in
+        let archive = Stellar_archive.Archive.create ~checkpoint_frequency:4 () in
+        (* founders trust a majority of the four founders only *)
+        let founder_ids = Array.init 4 (fun i -> (Topology.node_ids (Topology.all_to_all ~n:4)).(i)) in
+        let qset = Scp.Quorum_set.majority (Array.to_list founder_ids) in
+        let founders =
+          Array.init 4 (fun i ->
+              let v = ref None in
+              let on_ledger_closed =
+                if i = 0 then (fun stats ->
+                  match !v with
+                  | Some validator ->
+                      let herder = Validator.herder validator in
+                      let header = stats.Stellar_herder.Herder.header in
+                      let ts =
+                        Option.get
+                          (Stellar_herder.Herder.tx_set herder
+                             header.Stellar_ledger.Header.tx_set_hash)
+                      in
+                      Stellar_archive.Archive.record_ledger archive ~header ~tx_set:ts
+                        ~buckets:(Stellar_herder.Herder.buckets herder)
+                  | None -> ())
+                else fun _ -> ()
+              in
+              let validator =
+                Validator.create ~network ~index:i
+                  ~peers:(List.filter (fun j -> j <> i) [ 0; 1; 2; 3; 4 ])
+                  ~config:
+                    (Stellar_herder.Herder.default_config
+                       ~seed:(Stellar_crypto.Sha256.digest (Printf.sprintf "validator-%d" i))
+                       ~qset)
+                  ~genesis ~on_ledger_closed ()
+              in
+              v := Some validator;
+              validator)
+        in
+        Array.iter Validator.start founders;
+        Stellar_sim.Engine.run ~until:31.0 engine;
+        let founder_seq = Stellar_herder.Herder.ledger_seq (Validator.herder founders.(0)) in
+        check bool "founders made progress" true (founder_seq >= 6);
+        (* the newcomer catches up offline from the archive... *)
+        let state, chain =
+          match Stellar_archive.Archive.catchup archive with
+          | Ok r -> r
+          | Error e -> fail e
+        in
+        let newcomer =
+          Validator.create ~network ~index:4 ~peers:[ 0; 1; 2; 3 ]
+            ~config:
+              {
+                (Stellar_herder.Herder.default_config
+                   ~seed:(Stellar_crypto.Sha256.digest "newcomer") ~qset)
+                with
+                Stellar_herder.Herder.is_validator = false;
+              }
+            ~genesis:state ~headers:(List.rev chain) ()
+        in
+        Validator.start newcomer;
+        let start_seq = Stellar_herder.Herder.ledger_seq (Validator.herder newcomer) in
+        Stellar_sim.Engine.run ~until:(Stellar_sim.Engine.now engine +. 30.0) engine;
+        let new_seq = Stellar_herder.Herder.ledger_seq (Validator.herder newcomer) in
+        check bool "newcomer tracked new ledgers" true (new_seq > start_seq);
+        (* and its chain head matches a founder at the same height *)
+        let founder_headers = Stellar_herder.Herder.headers (Validator.herder founders.(1)) in
+        let new_head = Option.get (Stellar_herder.Herder.last_header (Validator.herder newcomer)) in
+        let matching =
+          List.find_opt
+            (fun h -> h.Stellar_ledger.Header.ledger_seq = new_seq)
+            founder_headers
+        in
+        match matching with
+        | Some h ->
+            check bool "same header hash" true
+              (String.equal (Stellar_ledger.Header.hash h) (Stellar_ledger.Header.hash new_head))
+        | None -> fail "founder does not have the newcomer's height yet");
+  ]
+
+let () =
+  Alcotest.run "node"
+    [
+      ("integration", integration_tests);
+      ("faults", fault_tests);
+      ("archive", archive_tests);
+      ("join", join_tests);
+      ("topology", topo_tests);
+    ]
