@@ -33,4 +33,40 @@ let run () =
     n_nodes;
   Common.row "ledger update CPU  : mean %.2fms per ledger@."
     (Common.ms r.Scenario.apply.Metrics.mean);
-  Common.row "shape check        : commodity-hardware scale; network cost dominates@."
+  Common.row "shape check        : commodity-hardware scale; network cost dominates@.";
+  (* Persist the measured byte accounting so the perf trajectory is
+     tracked across PRs.  Sizes are real XDR encoding lengths. *)
+  let ledgers = max 1 r.Scenario.ledgers_closed in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"tab-resources\",\n\
+      \  \"duration_s\": %.1f,\n\
+      \  \"nodes\": %d,\n\
+      \  \"peers_node0\": %d,\n\
+      \  \"ledgers_closed\": %d,\n\
+      \  \"txs_applied\": %d,\n\
+      \  \"bytes_in_total_node0\": %d,\n\
+      \  \"bytes_out_total_node0\": %d,\n\
+      \  \"bytes_in_per_ledger\": %.1f,\n\
+      \  \"bytes_out_per_ledger\": %.1f,\n\
+      \  \"mbit_in_per_s\": %.4f,\n\
+      \  \"mbit_out_per_s\": %.4f,\n\
+      \  \"cpu_pct_per_validator\": %.2f,\n\
+      \  \"apply_ms_mean\": %.3f\n\
+       }\n"
+      duration n_nodes
+      (List.length (spec.Stellar_node.Topology.peers_of 0))
+      r.Scenario.ledgers_closed r.Scenario.txs_applied r.Scenario.bytes_in_total
+      r.Scenario.bytes_out_total
+      (float_of_int r.Scenario.bytes_in_total /. float_of_int ledgers)
+      (float_of_int r.Scenario.bytes_out_total /. float_of_int ledgers)
+      (r.Scenario.bytes_in_per_second *. 8.0 /. 1_000_000.0)
+      (r.Scenario.bytes_out_per_second *. 8.0 /. 1_000_000.0)
+      (cpu /. duration /. float_of_int n_nodes *. 100.0)
+      (Common.ms r.Scenario.apply.Metrics.mean)
+  in
+  let oc = open_out "BENCH_resources.json" in
+  output_string oc json;
+  close_out oc;
+  Common.row "wrote BENCH_resources.json@."

@@ -1,4 +1,5 @@
 open Stellar_ledger
+module Xdr = Stellar_xdr.Xdr
 
 type checkpoint = {
   seq : int;
@@ -13,6 +14,7 @@ type t = {
   tx_index : (string, int) Hashtbl.t;  (* tx hash -> ledger seq *)
   mutable checkpoints : checkpoint list;  (* newest first *)
   mutable latest : int option;
+  mutable archived_bytes : int;  (* XDR bytes published so far *)
 }
 
 let create ?(checkpoint_frequency = 8) () =
@@ -23,6 +25,7 @@ let create ?(checkpoint_frequency = 8) () =
     tx_index = Hashtbl.create 1024;
     checkpoints = [];
     latest = None;
+    archived_bytes = 0;
   }
 
 let record_ledger t ~header ~tx_set ~buckets =
@@ -36,8 +39,15 @@ let record_ledger t ~header ~tx_set ~buckets =
   List.iter
     (fun signed -> Hashtbl.replace t.tx_index (Tx.hash signed.Tx.tx) seq)
     (Stellar_herder.Tx_set.txs tx_set);
-  if seq mod t.checkpoint_frequency = 0 then
+  t.archived_bytes <-
+    t.archived_bytes
+    + Xdr.encoded_length Header.xdr header
+    + Stellar_herder.Tx_set.size_bytes tx_set;
+  if seq mod t.checkpoint_frequency = 0 then begin
     t.checkpoints <- { seq; chk_header = header; chk_buckets = buckets } :: t.checkpoints;
+    t.archived_bytes <-
+      t.archived_bytes + Xdr.encoded_length Stellar_bucket.Bucket_list.xdr buckets
+  end;
   t.latest <- Some seq
 
 let latest_seq t = t.latest
@@ -109,7 +119,61 @@ let catchup t =
       in
       Ok (state, chain)
 
-let size_bytes t =
-  let headers = Hashtbl.length t.headers * 256 in
-  let txs = Hashtbl.fold (fun _ ts acc -> acc + Stellar_herder.Tx_set.size_bytes ts) t.tx_sets 0 in
-  headers + txs
+let size_bytes t = t.archived_bytes
+
+(* ---- XDR blob serialization (§5.4: archives are flat files on blob
+   stores; here, one blob for the whole archive) ---- *)
+
+let record_xdr = Xdr.pair Header.xdr Stellar_herder.Tx_set.xdr
+
+let checkpoint_xdr =
+  Xdr.conv
+    (fun c -> (c.seq, (c.chk_header, c.chk_buckets)))
+    (fun (seq, (chk_header, chk_buckets)) -> { seq; chk_header; chk_buckets })
+    Xdr.(pair hyper (pair Header.xdr Stellar_bucket.Bucket_list.xdr))
+
+let blob_xdr =
+  Xdr.(pair uint32 (pair (list record_xdr) (list checkpoint_xdr)))
+
+let to_blob t =
+  let seqs = Hashtbl.fold (fun seq _ acc -> seq :: acc) t.headers [] |> List.sort Int.compare in
+  let records =
+    List.map
+      (fun seq -> (Hashtbl.find t.headers seq, Hashtbl.find t.tx_sets seq))
+      seqs
+  in
+  Xdr.encode blob_xdr (t.checkpoint_frequency, (records, t.checkpoints))
+
+let of_blob s =
+  match Xdr.decode blob_xdr s with
+  | Error e -> Error e
+  | Ok (checkpoint_frequency, (records, checkpoints)) ->
+      if checkpoint_frequency < 1 then Error "archive blob: bad checkpoint frequency"
+      else begin
+        let t = create ~checkpoint_frequency () in
+        let ordered = ref true in
+        List.iter
+          (fun (header, tx_set) ->
+            let seq = header.Header.ledger_seq in
+            (match t.latest with
+            | Some prev when seq <> prev + 1 -> ordered := false
+            | _ -> ());
+            Hashtbl.replace t.headers seq header;
+            Hashtbl.replace t.tx_sets seq tx_set;
+            List.iter
+              (fun signed -> Hashtbl.replace t.tx_index (Tx.hash signed.Tx.tx) seq)
+              (Stellar_herder.Tx_set.txs tx_set);
+            t.archived_bytes <-
+              t.archived_bytes
+              + Xdr.encoded_length Header.xdr header
+              + Stellar_herder.Tx_set.size_bytes tx_set;
+            t.latest <- Some seq)
+          records;
+        t.checkpoints <- checkpoints;
+        List.iter
+          (fun c ->
+            t.archived_bytes <-
+              t.archived_bytes + Xdr.encoded_length Stellar_bucket.Bucket_list.xdr c.chk_buckets)
+          checkpoints;
+        if not !ordered then Error "archive blob: ledgers out of order" else Ok t
+      end

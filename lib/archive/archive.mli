@@ -44,4 +44,13 @@ val catchup :
     chain (oldest first). *)
 
 val size_bytes : t -> int
-(** Rough archived volume, for the §7.4-style cost discussion. *)
+(** Exact archived volume: the XDR-encoded bytes of every published header,
+    transaction set and checkpoint snapshot (§7.4-style cost accounting). *)
+
+val to_blob : t -> string
+(** The whole archive as one canonical XDR blob, as it would be laid out on
+    a blob store. *)
+
+val of_blob : string -> (t, string) result
+(** Strict inverse of {!to_blob}: a written archive re-reads to structurally
+    equal contents, and [to_blob] of the result is bit-for-bit identical. *)

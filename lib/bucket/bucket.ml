@@ -4,18 +4,15 @@ type item = { key : Entry.key; entry : Entry.entry option }
 
 type t = { items : item array; hash : string }
 
-let encode_item it =
-  let buf = Buffer.create 64 in
-  let k = Entry.encode_key it.key in
-  Buffer.add_int32_be buf (Int32.of_int (String.length k));
-  Buffer.add_string buf k;
-  (match it.entry with
-  | None -> Buffer.add_string buf "DEAD"
-  | Some e ->
-      let enc = Entry.encode_entry e in
-      Buffer.add_int32_be buf (Int32.of_int (String.length enc));
-      Buffer.add_string buf enc);
-  Buffer.contents buf
+module Xdr = Stellar_xdr.Xdr
+
+let item_xdr =
+  Xdr.conv
+    (fun it -> (it.key, it.entry))
+    (fun (key, entry) -> { key; entry })
+    Xdr.(pair Entry.key_xdr (option Entry.entry_xdr))
+
+let encode_item it = Xdr.encode item_xdr it
 
 let compute_hash items =
   if Array.length items = 0 then Stellar_crypto.Sha256.digest "empty-bucket"
@@ -90,3 +87,13 @@ let merge ~newer ~older ~keep_tombstones =
 
 let live_entries t =
   Array.to_list t.items |> List.filter_map (fun it -> it.entry)
+
+(* Items are written in their canonical sorted order, so decoding rebuilds
+   the identical array (and hash) without re-sorting. *)
+let xdr =
+  Xdr.conv
+    (fun t -> Array.to_list t.items)
+    (fun items ->
+      let arr = Array.of_list items in
+      { items = arr; hash = compute_hash arr })
+    (Xdr.list item_xdr)

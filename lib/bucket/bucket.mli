@@ -23,6 +23,11 @@ val hash : t -> string
 (** SHA-256 over the serialized run; the empty bucket hashes to a fixed
     sentinel. *)
 
+val item_xdr : item Stellar_xdr.Xdr.codec
+
+val xdr : t Stellar_xdr.Xdr.codec
+(** Canonical XDR of the sorted run; decoding recomputes the hash. *)
+
 val find : t -> Stellar_ledger.Entry.key -> item option
 
 val merge : newer:t -> older:t -> keep_tombstones:bool -> t

@@ -73,6 +73,22 @@ let diff_levels a b =
     (fun i -> not (String.equal (bucket_hash a i) (bucket_hash b i)))
     (List.init n Fun.id)
 
+module Xdr = Stellar_xdr.Xdr
+
+let level_xdr =
+  Xdr.conv
+    (fun l -> (l.bucket, l.fill))
+    (fun (bucket, fill) -> { bucket; fill })
+    Xdr.(pair Bucket.xdr uint32)
+
+let xdr =
+  Xdr.conv
+    (fun t -> (t.spill_factor, Array.to_list t.levels))
+    (fun (spill_factor, levels) ->
+      if spill_factor < 2 || levels = [] then raise (Xdr.Error "Bucket_list: bad shape");
+      { levels = Array.of_list levels; spill_factor })
+    Xdr.(pair uint32 (list ~max:64 level_xdr))
+
 let of_state state =
   let t = create () in
   let items =

@@ -34,6 +34,10 @@ val diff_levels : t -> t -> int list
 (** Levels whose bucket hashes differ — the buckets a reconnecting node
     must download (§5.1: "downloading only buckets that differ"). *)
 
+val xdr : t Stellar_xdr.Xdr.codec
+(** Canonical XDR of the whole list (spill factor, per-level buckets and
+    fill counters), used for archive checkpoint snapshots. *)
+
 val of_state : Stellar_ledger.State.t -> t
 (** Bootstrap a bucket list holding a full state snapshot in its bottom
     level. *)

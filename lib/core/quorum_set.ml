@@ -69,22 +69,36 @@ let rec weight t node =
         if w > 0.0 then Float.max acc (direct *. w) else acc)
       0.0 t.inner
 
-let rec encode_into buf t =
-  Buffer.add_char buf 'Q';
-  Buffer.add_int32_be buf (Int32.of_int t.threshold);
-  Buffer.add_int32_be buf (Int32.of_int (List.length t.validators));
-  List.iter
-    (fun v ->
-      Buffer.add_int32_be buf (Int32.of_int (String.length v));
-      Buffer.add_string buf v)
-    t.validators;
-  Buffer.add_int32_be buf (Int32.of_int (List.length t.inner));
-  List.iter (encode_into buf) t.inner
+module Xdr = Stellar_xdr.Xdr
 
-let encode t =
-  let buf = Buffer.create 128 in
-  encode_into buf t;
-  Buffer.contents buf
+(* Nesting is bounded (stellar-core allows depth 2; we accept a bit more)
+   so a malicious envelope cannot force unbounded recursion. *)
+let max_depth = 8
+
+let rec write_xdr w depth t =
+  if depth > max_depth then raise (Xdr.Error "Quorum_set: nesting too deep");
+  Xdr.Writer.uint32 w t.threshold;
+  (Xdr.list (Xdr.str ())).Xdr.write w t.validators;
+  Xdr.Writer.uint32 w (List.length t.inner);
+  List.iter (write_xdr w (depth + 1)) t.inner
+
+let rec read_xdr r depth =
+  if depth > max_depth then raise (Xdr.Error "Quorum_set: nesting too deep");
+  let threshold = Xdr.Reader.uint32 r in
+  let validators = (Xdr.list (Xdr.str ())).Xdr.read r in
+  let n_inner = Xdr.Reader.uint32 r in
+  if n_inner * 4 > Xdr.Reader.remaining r then
+    raise (Xdr.Error "Quorum_set: inner count exceeds buffer");
+  let inner = List.init n_inner (fun _ -> read_xdr r (depth + 1)) in
+  let t = { threshold; validators; inner } in
+  if threshold < 1 || threshold > member_count_shallow t then
+    raise (Xdr.Error "Quorum_set: threshold out of range");
+  t
+
+let xdr = { Xdr.write = (fun w t -> write_xdr w 0 t); read = (fun r -> read_xdr r 0) }
+
+let encode t = Xdr.encode xdr t
+let decode s = Xdr.decode xdr s
 
 let hash t = Stellar_crypto.Sha256.digest (encode t)
 

@@ -46,8 +46,14 @@ val is_v_blocking : t -> (node_id -> bool) -> bool
 val weight : t -> node_id -> float
 (** Fraction of slices containing the given node (§3.2.5); 0 if absent. *)
 
+val xdr : t Stellar_xdr.Xdr.codec
+(** Canonical XDR: threshold, validators, inner sets (recursive, depth ≤ 8;
+    decoding re-checks the {!make} threshold invariant). *)
+
 val encode : t -> string
-(** Deterministic binary encoding, used for hashing and message sizing. *)
+(** Canonical XDR bytes, used for hashing and message sizing. *)
+
+val decode : string -> (t, string) result
 
 val hash : t -> string
 (** SHA-256 of {!encode}. *)

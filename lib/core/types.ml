@@ -53,54 +53,94 @@ type statement = {
 
 type envelope = { statement : statement; signature : string }
 
-let add_string buf s =
-  Buffer.add_int32_be buf (Int32.of_int (String.length s));
-  Buffer.add_string buf s
+module Xdr = Stellar_xdr.Xdr
 
-let add_int buf n = Buffer.add_int64_be buf (Int64.of_int n)
+(* Ballot counters use hyper: the draft's "infinite" counter is represented
+   as max_int, which does not fit an XDR uint32. *)
+let ballot_xdr =
+  Xdr.conv
+    (fun b -> (b.counter, b.value))
+    (fun (counter, value) -> { counter; value })
+    Xdr.(pair hyper (str ()))
 
-let add_ballot buf b =
-  add_int buf b.counter;
-  add_string buf b.value
+let pledge_xdr =
+  let open Xdr in
+  let value = str () in
+  union
+    ~tag:(function Nominate _ -> 0 | Prepare _ -> 1 | Confirm _ -> 2 | Externalize _ -> 3)
+    ~write_arm:(fun w -> function
+      | Nominate n ->
+          (list value).write w n.votes;
+          (list value).write w n.accepted
+      | Prepare p ->
+          ballot_xdr.write w p.ballot;
+          (option ballot_xdr).write w p.prepared;
+          (option ballot_xdr).write w p.prepared_prime;
+          Writer.hyper w p.n_c;
+          Writer.hyper w p.n_h
+      | Confirm c ->
+          ballot_xdr.write w c.ballot;
+          Writer.hyper w c.n_prepared;
+          Writer.hyper w c.n_commit;
+          Writer.hyper w c.n_h
+      | Externalize e ->
+          ballot_xdr.write w e.commit;
+          Writer.hyper w e.n_h)
+    ~read_arm:(fun tag r ->
+      match tag with
+      | 0 ->
+          let votes = (list value).read r in
+          let accepted = (list value).read r in
+          Nominate { votes; accepted }
+      | 1 ->
+          let ballot = ballot_xdr.read r in
+          let prepared = (option ballot_xdr).read r in
+          let prepared_prime = (option ballot_xdr).read r in
+          let n_c = Reader.hyper r in
+          let n_h = Reader.hyper r in
+          Prepare { ballot; prepared; prepared_prime; n_c; n_h }
+      | 2 ->
+          let ballot = ballot_xdr.read r in
+          let n_prepared = Reader.hyper r in
+          let n_commit = Reader.hyper r in
+          let n_h = Reader.hyper r in
+          Confirm { ballot; n_prepared; n_commit; n_h }
+      | 3 ->
+          let commit = ballot_xdr.read r in
+          let n_h = Reader.hyper r in
+          Externalize { commit; n_h }
+      | _ -> raise (Xdr.Error "Scp.Types.pledge: bad discriminant"))
 
-let add_ballot_opt buf = function
-  | None -> Buffer.add_char buf '\000'
-  | Some b ->
-      Buffer.add_char buf '\001';
-      add_ballot buf b
+let statement_xdr =
+  let open Xdr in
+  {
+    write =
+      (fun w st ->
+        Writer.opaque_var w st.node_id;
+        Writer.hyper w st.slot;
+        Quorum_set.xdr.write w st.quorum_set;
+        pledge_xdr.write w st.pledge);
+    read =
+      (fun r ->
+        let node_id = Reader.opaque_var r () in
+        let slot = Reader.hyper r in
+        let quorum_set = Quorum_set.xdr.read r in
+        let pledge = pledge_xdr.read r in
+        { node_id; slot; quorum_set; pledge });
+  }
 
-let statement_bytes st =
-  let buf = Buffer.create 256 in
-  add_string buf st.node_id;
-  add_int buf st.slot;
-  Buffer.add_string buf (Quorum_set.encode st.quorum_set);
-  (match st.pledge with
-  | Nominate n ->
-      Buffer.add_char buf 'N';
-      add_int buf (List.length n.votes);
-      List.iter (add_string buf) n.votes;
-      add_int buf (List.length n.accepted);
-      List.iter (add_string buf) n.accepted
-  | Prepare p ->
-      Buffer.add_char buf 'P';
-      add_ballot buf p.ballot;
-      add_ballot_opt buf p.prepared;
-      add_ballot_opt buf p.prepared_prime;
-      add_int buf p.n_c;
-      add_int buf p.n_h
-  | Confirm c ->
-      Buffer.add_char buf 'C';
-      add_ballot buf c.ballot;
-      add_int buf c.n_prepared;
-      add_int buf c.n_commit;
-      add_int buf c.n_h
-  | Externalize e ->
-      Buffer.add_char buf 'X';
-      add_ballot buf e.commit;
-      add_int buf e.n_h);
-  Buffer.contents buf
+let envelope_xdr =
+  Xdr.conv
+    (fun e -> (e.statement, e.signature))
+    (fun (statement, signature) -> { statement; signature })
+    Xdr.(pair statement_xdr (str ()))
 
-let envelope_size env = String.length (statement_bytes env.statement) + String.length env.signature
+let statement_bytes st = Xdr.encode statement_xdr st
+let decode_statement s = Xdr.decode statement_xdr s
+let encode_envelope env = Xdr.encode envelope_xdr env
+let decode_envelope s = Xdr.decode envelope_xdr s
+
+let envelope_size env = Xdr.encoded_length envelope_xdr env
 
 let pledge_kind = function
   | Nominate _ -> "nominate"

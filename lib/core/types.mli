@@ -67,11 +67,19 @@ type statement = {
 
 type envelope = { statement : statement; signature : string }
 
+val statement_xdr : statement Stellar_xdr.Xdr.codec
+val envelope_xdr : envelope Stellar_xdr.Xdr.codec
+
 val statement_bytes : statement -> string
-(** Deterministic serialization, signed to form envelopes and used for
+(** Canonical XDR serialization, signed to form envelopes and used for
     message-size accounting in the simulator. *)
 
+val decode_statement : string -> (statement, string) result
+val encode_envelope : envelope -> string
+val decode_envelope : string -> (envelope, string) result
+
 val envelope_size : envelope -> int
+(** Exact wire size: [Bytes.length] of the {!envelope_xdr} encoding. *)
 
 val pledge_kind : pledge -> string
 val pp_statement : Format.formatter -> statement -> unit

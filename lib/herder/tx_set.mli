@@ -5,12 +5,24 @@ type t
 
 val make : prev_header_hash:string -> Stellar_ledger.Tx.signed list -> t
 val txs : t -> Stellar_ledger.Tx.signed list
+
 val hash : t -> string
-(** Binds the transactions AND the previous ledger header (§5.3: "including
-    a hash of the previous ledger header"). *)
+(** SHA-256 of the canonical XDR encoding, which binds the transactions AND
+    the previous ledger header (§5.3: "including a hash of the previous
+    ledger header"). *)
+
+val xdr : t Stellar_xdr.Xdr.codec
+(** Decoding re-canonicalizes through {!make}, so a decoded set re-encodes
+    to the same bytes and carries the same hash. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
 
 val prev_header_hash : t -> string
 val op_count : t -> int
 val total_fees : t -> int
+
 val size_bytes : t -> int
+(** Exact wire size: [Bytes.length] of {!encode}. *)
+
 val tx_count : t -> int

@@ -13,83 +13,41 @@ let upgrade_tag = function
 let upgrade_value = function
   | Upgrade_base_fee v | Upgrade_base_reserve v | Upgrade_protocol_version v -> v
 
-let encode v =
-  let buf = Buffer.create 64 in
-  Buffer.add_int32_be buf (Int32.of_int (String.length v.tx_set_hash));
-  Buffer.add_string buf v.tx_set_hash;
-  Buffer.add_int64_be buf (Int64.of_int v.close_time);
-  let upgrades =
-    List.sort (fun a b -> Int.compare (upgrade_tag a) (upgrade_tag b)) v.upgrades
-  in
-  Buffer.add_int32_be buf (Int32.of_int (List.length upgrades));
-  List.iter
-    (fun u ->
-      Buffer.add_int32_be buf (Int32.of_int (upgrade_tag u));
-      Buffer.add_int64_be buf (Int64.of_int (upgrade_value u)))
-    upgrades;
-  Buffer.contents buf
+module Xdr = Stellar_xdr.Xdr
 
-let decode s =
-  let pos = ref 0 in
-  let fail = ref false in
-  let need n = if !pos + n > String.length s then fail := true in
-  let read_int32 () =
-    need 4;
-    if !fail then 0
-    else begin
-      let v =
-        (Char.code s.[!pos] lsl 24)
-        lor (Char.code s.[!pos + 1] lsl 16)
-        lor (Char.code s.[!pos + 2] lsl 8)
-        lor Char.code s.[!pos + 3]
-      in
-      pos := !pos + 4;
-      v
-    end
-  in
-  let read_int64 () =
-    need 8;
-    if !fail then 0
-    else begin
-      let v = ref 0 in
-      for i = 0 to 7 do
-        v := (!v lsl 8) lor Char.code s.[!pos + i]
-      done;
-      pos := !pos + 8;
-      !v
-    end
-  in
-  let read_str n =
-    need n;
-    if !fail then ""
-    else begin
-      let v = String.sub s !pos n in
-      pos := !pos + n;
-      v
-    end
-  in
-  let hlen = read_int32 () in
-  let tx_set_hash = read_str hlen in
-  let close_time = read_int64 () in
-  let count = read_int32 () in
-  if !fail || count < 0 || count > 16 then None
-  else begin
-    let upgrades = ref [] in
-    for _ = 1 to count do
-      let tag = read_int32 () in
-      let v = read_int64 () in
-      let u =
-        match tag with
-        | 0 -> Some (Upgrade_base_fee v)
-        | 1 -> Some (Upgrade_base_reserve v)
-        | 2 -> Some (Upgrade_protocol_version v)
-        | _ -> None
-      in
-      match u with Some u -> upgrades := u :: !upgrades | None -> fail := true
-    done;
-    if !fail || !pos <> String.length s then None
-    else Some { tx_set_hash; close_time; upgrades = List.rev !upgrades }
-  end
+let upgrade_xdr =
+  Xdr.union ~tag:upgrade_tag
+    ~write_arm:(fun w u -> Xdr.Writer.hyper w (upgrade_value u))
+    ~read_arm:(fun tag r ->
+      let v = Xdr.Reader.hyper r in
+      match tag with
+      | 0 -> Upgrade_base_fee v
+      | 1 -> Upgrade_base_reserve v
+      | 2 -> Upgrade_protocol_version v
+      | _ -> raise (Xdr.Error "Value.upgrade: bad discriminant"))
+
+let xdr =
+  let open Xdr in
+  {
+    write =
+      (fun w v ->
+        Writer.opaque_var w v.tx_set_hash;
+        Writer.hyper w v.close_time;
+        (* sorted by tag, so the encoding is canonical *)
+        let upgrades =
+          List.sort (fun a b -> Int.compare (upgrade_tag a) (upgrade_tag b)) v.upgrades
+        in
+        (list ~max:16 upgrade_xdr).write w upgrades);
+    read =
+      (fun r ->
+        let tx_set_hash = Reader.opaque_var r () in
+        let close_time = Reader.hyper r in
+        let upgrades = (list ~max:16 upgrade_xdr).read r in
+        { tx_set_hash; close_time; upgrades });
+  }
+
+let encode v = Xdr.encode xdr v
+let decode s = match Xdr.decode xdr s with Ok v -> Some v | Error _ -> None
 
 let hash v = Stellar_crypto.Sha256.digest (encode v)
 

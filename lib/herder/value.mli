@@ -9,9 +9,16 @@ type upgrade =
 
 type t = { tx_set_hash : string; close_time : int; upgrades : upgrade list }
 
+val xdr : t Stellar_xdr.Xdr.codec
+
 val encode : t -> string
+(** Canonical XDR bytes (upgrades sorted by tag). *)
+
 val decode : string -> t option
+(** Strict decode: [None] on malformed input or trailing bytes. *)
+
 val hash : t -> string
+(** SHA-256 of {!encode}. *)
 
 val combine : t list -> t option
 (** §5.3: take the transaction set with the most operations (ties broken by

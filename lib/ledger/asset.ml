@@ -27,6 +27,26 @@ let encode = function
   | Native -> "N"
   | Credit c -> Printf.sprintf "C:%s:%s" c.code c.issuer
 
+module Xdr = Stellar_xdr.Xdr
+
+let xdr =
+  Xdr.union
+    ~tag:(function Native -> 0 | Credit _ -> 1)
+    ~write_arm:(fun w -> function
+      | Native -> ()
+      | Credit c ->
+          Xdr.Writer.opaque_var w ~max:12 c.code;
+          Xdr.Writer.opaque_var w c.issuer)
+    ~read_arm:(fun tag r ->
+      match tag with
+      | 0 -> Native
+      | 1 ->
+          let code = Xdr.Reader.opaque_var r ~max:12 () in
+          let issuer = Xdr.Reader.opaque_var r () in
+          if String.length code = 0 then raise (Xdr.Error "Asset: empty code");
+          Credit { code; issuer }
+      | _ -> raise (Xdr.Error "Asset: bad discriminant"))
+
 let pp fmt = function
   | Native -> Format.pp_print_string fmt "XLM"
   | Credit c ->

@@ -19,6 +19,11 @@ val issuer : t -> account_id option
 val code : t -> string
 
 val encode : t -> string
+(** Short printable key, for hashtable keys only — wire format is {!xdr}. *)
+
+val xdr : t Stellar_xdr.Xdr.codec
+(** Union: 0 = native, 1 = credit (code ≤ 12 bytes, issuer). *)
+
 val pp : Format.formatter -> t -> unit
 
 (** Fixed-point helpers. *)

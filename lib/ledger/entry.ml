@@ -97,63 +97,148 @@ let encode_key = function
   | Offer_key id -> Printf.sprintf "O:%d" id
   | Data_key (id, name) -> "D:" ^ id ^ ":" ^ name
 
-let encode_entry e =
-  let buf = Buffer.create 128 in
-  let istr s =
-    Buffer.add_int32_be buf (Int32.of_int (String.length s));
-    Buffer.add_string buf s
-  in
-  let int n = Buffer.add_int64_be buf (Int64.of_int n) in
-  let flag b = Buffer.add_char buf (if b then '\001' else '\000') in
-  (match e with
-  | Account_entry a ->
-      Buffer.add_char buf 'A';
-      istr a.id;
-      int a.balance;
-      int a.seq_num;
-      int a.num_sub_entries;
-      flag a.flags.auth_required;
-      flag a.flags.auth_revocable;
-      flag a.flags.auth_immutable;
-      int a.thresholds.master_weight;
-      int a.thresholds.low;
-      int a.thresholds.medium;
-      int a.thresholds.high;
-      int (List.length a.signers);
-      List.iter
-        (fun s ->
-          istr s.key;
-          int s.weight)
-        a.signers;
-      istr a.home_domain;
-      (match a.inflation_dest with
-      | None -> flag false
-      | Some d ->
-          flag true;
-          istr d)
-  | Trustline_entry t ->
-      Buffer.add_char buf 'T';
-      istr t.account;
-      istr (Asset.encode t.asset);
-      int t.tl_balance;
-      int t.limit;
-      flag t.authorized
-  | Offer_entry o ->
-      Buffer.add_char buf 'O';
-      int o.offer_id;
-      istr o.seller;
-      istr (Asset.encode o.selling);
-      istr (Asset.encode o.buying);
-      int o.amount;
-      int o.price.Price.n;
-      int o.price.Price.d;
-      flag o.passive
-  | Data_entry d ->
-      Buffer.add_char buf 'D';
-      istr d.owner;
-      istr d.name;
-      istr d.value);
-  Buffer.contents buf
+module Xdr = Stellar_xdr.Xdr
+
+let signer_xdr =
+  Xdr.conv
+    (fun s -> (s.key, s.weight))
+    (fun (key, weight) -> { key; weight })
+    Xdr.(pair (str ()) hyper)
+
+let flags_xdr =
+  Xdr.conv
+    (fun f -> (f.auth_required, (f.auth_revocable, f.auth_immutable)))
+    (fun (auth_required, (auth_revocable, auth_immutable)) ->
+      { auth_required; auth_revocable; auth_immutable })
+    Xdr.(pair bool (pair bool bool))
+
+let thresholds_xdr =
+  Xdr.conv
+    (fun t -> (t.master_weight, (t.low, (t.medium, t.high))))
+    (fun (master_weight, (low, (medium, high))) -> { master_weight; low; medium; high })
+    Xdr.(pair hyper (pair hyper (pair hyper hyper)))
+
+let key_xdr =
+  Xdr.union
+    ~tag:(function Account_key _ -> 0 | Trustline_key _ -> 1 | Offer_key _ -> 2 | Data_key _ -> 3)
+    ~write_arm:(fun w -> function
+      | Account_key id -> Xdr.Writer.opaque_var w id
+      | Trustline_key (id, asset) ->
+          Xdr.Writer.opaque_var w id;
+          Asset.xdr.Xdr.write w asset
+      | Offer_key id -> Xdr.Writer.hyper w id
+      | Data_key (id, name) ->
+          Xdr.Writer.opaque_var w id;
+          Xdr.Writer.opaque_var w name)
+    ~read_arm:(fun tag r ->
+      match tag with
+      | 0 -> Account_key (Xdr.Reader.opaque_var r ())
+      | 1 ->
+          let id = Xdr.Reader.opaque_var r () in
+          Trustline_key (id, Asset.xdr.Xdr.read r)
+      | 2 -> Offer_key (Xdr.Reader.hyper r)
+      | 3 ->
+          let id = Xdr.Reader.opaque_var r () in
+          Data_key (id, Xdr.Reader.opaque_var r ())
+      | _ -> raise (Xdr.Error "Entry.key: bad discriminant"))
+
+let account_xdr =
+  let open Xdr in
+  {
+    write =
+      (fun w a ->
+        Writer.opaque_var w a.id;
+        Writer.hyper w a.balance;
+        Writer.hyper w a.seq_num;
+        Writer.hyper w a.num_sub_entries;
+        flags_xdr.write w a.flags;
+        thresholds_xdr.write w a.thresholds;
+        (list signer_xdr).write w a.signers;
+        Writer.opaque_var w a.home_domain;
+        (option (str ())).write w a.inflation_dest);
+    read =
+      (fun r ->
+        let id = Reader.opaque_var r () in
+        let balance = Reader.hyper r in
+        let seq_num = Reader.hyper r in
+        let num_sub_entries = Reader.hyper r in
+        let flags = flags_xdr.read r in
+        let thresholds = thresholds_xdr.read r in
+        let signers = (list signer_xdr).read r in
+        let home_domain = Reader.opaque_var r () in
+        let inflation_dest = (option (str ())).read r in
+        { id; balance; seq_num; num_sub_entries; flags; thresholds; signers;
+          home_domain; inflation_dest });
+  }
+
+let trustline_xdr =
+  let open Xdr in
+  {
+    write =
+      (fun w t ->
+        Writer.opaque_var w t.account;
+        Asset.xdr.write w t.asset;
+        Writer.hyper w t.tl_balance;
+        Writer.hyper w t.limit;
+        Writer.bool w t.authorized);
+    read =
+      (fun r ->
+        let account = Reader.opaque_var r () in
+        let asset = Asset.xdr.read r in
+        let tl_balance = Reader.hyper r in
+        let limit = Reader.hyper r in
+        let authorized = Reader.bool r in
+        { account; asset; tl_balance; limit; authorized });
+  }
+
+let offer_xdr =
+  let open Xdr in
+  {
+    write =
+      (fun w o ->
+        Writer.hyper w o.offer_id;
+        Writer.opaque_var w o.seller;
+        Asset.xdr.write w o.selling;
+        Asset.xdr.write w o.buying;
+        Writer.hyper w o.amount;
+        Price.xdr.write w o.price;
+        Writer.bool w o.passive);
+    read =
+      (fun r ->
+        let offer_id = Reader.hyper r in
+        let seller = Reader.opaque_var r () in
+        let selling = Asset.xdr.read r in
+        let buying = Asset.xdr.read r in
+        let amount = Reader.hyper r in
+        let price = Price.xdr.read r in
+        let passive = Reader.bool r in
+        { offer_id; seller; selling; buying; amount; price; passive });
+  }
+
+let data_xdr =
+  Xdr.conv
+    (fun d -> (d.owner, (d.name, d.value)))
+    (fun (owner, (name, value)) -> { owner; name; value })
+    Xdr.(pair (str ()) (pair (str ()) (str ())))
+
+let entry_xdr =
+  Xdr.union
+    ~tag:(function
+      | Account_entry _ -> 0 | Trustline_entry _ -> 1 | Offer_entry _ -> 2 | Data_entry _ -> 3)
+    ~write_arm:(fun w -> function
+      | Account_entry a -> account_xdr.Xdr.write w a
+      | Trustline_entry t -> trustline_xdr.Xdr.write w t
+      | Offer_entry o -> offer_xdr.Xdr.write w o
+      | Data_entry d -> data_xdr.Xdr.write w d)
+    ~read_arm:(fun tag r ->
+      match tag with
+      | 0 -> Account_entry (account_xdr.Xdr.read r)
+      | 1 -> Trustline_entry (trustline_xdr.Xdr.read r)
+      | 2 -> Offer_entry (offer_xdr.Xdr.read r)
+      | 3 -> Data_entry (data_xdr.Xdr.read r)
+      | _ -> raise (Xdr.Error "Entry.entry: bad discriminant"))
+
+let encode_entry e = Xdr.encode entry_xdr e
 
 let pp_key fmt k =
   let short s = Stellar_crypto.Hex.encode (String.sub s 0 (min 4 (String.length s))) in

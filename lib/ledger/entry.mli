@@ -65,10 +65,16 @@ type entry =
 
 val key_of_entry : entry -> key
 val compare_key : key -> key -> int
+
 val encode_key : key -> string
+(** Short printable key, for hashtable keys only — wire format is
+    {!key_xdr}. *)
+
+val key_xdr : key Stellar_xdr.Xdr.codec
+val entry_xdr : entry Stellar_xdr.Xdr.codec
 
 val encode_entry : entry -> string
-(** Deterministic binary encoding; hashed into buckets and the ledger
+(** Canonical XDR bytes of {!entry_xdr}; hashed into buckets and the ledger
     snapshot hash. *)
 
 val pp_key : Format.formatter -> key -> unit

@@ -16,28 +16,47 @@ type t = {
 
 let genesis_hash = Stellar_crypto.Sha256.digest "stellar-repro genesis"
 
-let encode h =
-  let buf = Buffer.create 256 in
-  let istr s =
-    Buffer.add_int32_be buf (Int32.of_int (String.length s));
-    Buffer.add_string buf s
-  in
-  let int n = Buffer.add_int64_be buf (Int64.of_int n) in
-  int h.ledger_seq;
-  istr h.prev_hash;
-  istr h.scp_value_hash;
-  istr h.tx_set_hash;
-  istr h.results_hash;
-  istr h.snapshot_hash;
-  int h.close_time;
-  int h.base_fee;
-  int h.base_reserve;
-  int h.protocol_version;
-  int h.fee_pool;
-  int h.id_pool;
-  int (List.length h.skip_list);
-  List.iter istr h.skip_list;
-  Buffer.contents buf
+module Xdr = Stellar_xdr.Xdr
+
+let xdr =
+  let open Xdr in
+  {
+    write =
+      (fun w h ->
+        Writer.hyper w h.ledger_seq;
+        Writer.opaque_var w h.prev_hash;
+        Writer.opaque_var w h.scp_value_hash;
+        Writer.opaque_var w h.tx_set_hash;
+        Writer.opaque_var w h.results_hash;
+        Writer.opaque_var w h.snapshot_hash;
+        Writer.hyper w h.close_time;
+        Writer.hyper w h.base_fee;
+        Writer.hyper w h.base_reserve;
+        Writer.hyper w h.protocol_version;
+        Writer.hyper w h.fee_pool;
+        Writer.hyper w h.id_pool;
+        (list ~max:4 (str ())).write w h.skip_list);
+    read =
+      (fun r ->
+        let ledger_seq = Reader.hyper r in
+        let prev_hash = Reader.opaque_var r () in
+        let scp_value_hash = Reader.opaque_var r () in
+        let tx_set_hash = Reader.opaque_var r () in
+        let results_hash = Reader.opaque_var r () in
+        let snapshot_hash = Reader.opaque_var r () in
+        let close_time = Reader.hyper r in
+        let base_fee = Reader.hyper r in
+        let base_reserve = Reader.hyper r in
+        let protocol_version = Reader.hyper r in
+        let fee_pool = Reader.hyper r in
+        let id_pool = Reader.hyper r in
+        let skip_list = (list ~max:4 (str ())).read r in
+        { ledger_seq; prev_hash; scp_value_hash; tx_set_hash; results_hash; snapshot_hash;
+          close_time; base_fee; base_reserve; protocol_version; fee_pool; id_pool; skip_list });
+  }
+
+let encode h = Xdr.encode xdr h
+let decode s = Xdr.decode xdr s
 
 let hash h = Stellar_crypto.Sha256.digest (encode h)
 

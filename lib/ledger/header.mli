@@ -20,7 +20,15 @@ type t = {
 
 val genesis_hash : string
 
+val xdr : t Stellar_xdr.Xdr.codec
+
+val encode : t -> string
+(** Canonical XDR bytes. *)
+
+val decode : string -> (t, string) result
+
 val hash : t -> string
+(** SHA-256 over {!encode}. *)
 
 val make :
   prev:t option ->

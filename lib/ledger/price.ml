@@ -28,3 +28,14 @@ let div_floor x p = mul_floor x (inverse p)
 let div_ceil x p = mul_ceil x (inverse p)
 
 let crosses ~taker ~maker = taker.n * maker.n <= taker.d * maker.d
+
+module Xdr = Stellar_xdr.Xdr
+
+let xdr =
+  Xdr.conv
+    (fun p -> (p.n, p.d))
+    (fun (n, d) ->
+      if n <= 0 || d <= 0 || n >= limit || d >= limit then
+        raise (Xdr.Error "Price: components must be in (0, 2^31)");
+      { n; d })
+    (Xdr.pair Xdr.uint32 Xdr.uint32)

@@ -31,3 +31,6 @@ val crosses : taker:t -> maker:t -> bool
 (** Does a taker offer (selling S for B at [taker]) cross a maker offer
     (selling B for S at [maker])?  True when [taker · maker <= 1], i.e. the
     maker asks no more than the taker concedes. *)
+
+val xdr : t Stellar_xdr.Xdr.codec
+(** Two uint32 components; decoding enforces the {!make} invariants. *)

@@ -63,125 +63,205 @@ let make ~source ~seq_num ?fee ?time_bounds ?(memo = Memo_none) operations =
   let fee = match fee with Some f -> f | None -> 100 * List.length operations in
   { source; fee; seq_num; time_bounds; memo; operations }
 
-let encode tx =
-  let buf = Buffer.create 256 in
-  let istr s =
-    Buffer.add_int32_be buf (Int32.of_int (String.length s));
-    Buffer.add_string buf s
-  in
-  let int n = Buffer.add_int64_be buf (Int64.of_int n) in
-  let asset a = istr (Asset.encode a) in
-  let opt_int = function
-    | None -> Buffer.add_char buf '\000'
-    | Some n ->
-        Buffer.add_char buf '\001';
-        int n
-  in
-  istr tx.source;
-  int tx.fee;
-  int tx.seq_num;
-  (match tx.time_bounds with
-  | None -> Buffer.add_char buf '\000'
-  | Some { min_time; max_time } ->
-      Buffer.add_char buf '\001';
-      int min_time;
-      int max_time);
-  (match tx.memo with
-  | Memo_none -> Buffer.add_char buf '0'
-  | Memo_text s ->
-      Buffer.add_char buf 't';
-      istr s
-  | Memo_hash h ->
-      Buffer.add_char buf 'h';
-      istr h);
-  int (List.length tx.operations);
-  List.iter
-    (fun { op_source; body } ->
-      (match op_source with
-      | None -> Buffer.add_char buf '\000'
-      | Some s ->
-          Buffer.add_char buf '\001';
-          istr s);
-      match body with
+module Xdr = Stellar_xdr.Xdr
+
+let time_bounds_xdr =
+  Xdr.conv
+    (fun tb -> (tb.min_time, tb.max_time))
+    (fun (min_time, max_time) -> { min_time; max_time })
+    Xdr.(pair hyper hyper)
+
+let memo_xdr =
+  Xdr.union
+    ~tag:(function Memo_none -> 0 | Memo_text _ -> 1 | Memo_hash _ -> 2)
+    ~write_arm:(fun w -> function
+      | Memo_none -> ()
+      | Memo_text s -> Xdr.Writer.opaque_var w ~max:28 s
+      | Memo_hash h -> Xdr.Writer.opaque_var w h)
+    ~read_arm:(fun tag r ->
+      match tag with
+      | 0 -> Memo_none
+      | 1 -> Memo_text (Xdr.Reader.opaque_var r ~max:28 ())
+      | 2 -> Memo_hash (Xdr.Reader.opaque_var r ())
+      | _ -> raise (Xdr.Error "Tx.memo: bad discriminant"))
+
+let signer_update_xdr =
+  Xdr.union
+    ~tag:(function Set_signer _ -> 0 | Remove_signer _ -> 1)
+    ~write_arm:(fun w -> function
+      | Set_signer s ->
+          Xdr.Writer.opaque_var w s.Entry.key;
+          Xdr.Writer.hyper w s.Entry.weight
+      | Remove_signer k -> Xdr.Writer.opaque_var w k)
+    ~read_arm:(fun tag r ->
+      match tag with
+      | 0 ->
+          let key = Xdr.Reader.opaque_var r () in
+          let weight = Xdr.Reader.hyper r in
+          Set_signer { Entry.key; weight }
+      | 1 -> Remove_signer (Xdr.Reader.opaque_var r ())
+      | _ -> raise (Xdr.Error "Tx.signer_update: bad discriminant"))
+
+let body_tag = function
+  | Create_account _ -> 0
+  | Payment _ -> 1
+  | Path_payment _ -> 2
+  | Manage_offer _ -> 3
+  | Set_options _ -> 4
+  | Change_trust _ -> 5
+  | Allow_trust _ -> 6
+  | Account_merge _ -> 7
+  | Manage_data _ -> 8
+  | Bump_sequence _ -> 9
+  | Set_inflation_dest _ -> 10
+  | Inflation -> 11
+
+let body_xdr =
+  let open Xdr in
+  let acct = str () in
+  union ~tag:body_tag
+    ~write_arm:(fun w -> function
       | Create_account { destination; starting_balance } ->
-          Buffer.add_char buf 'c';
-          istr destination;
-          int starting_balance
-      | Payment { destination; asset = a; amount } ->
-          Buffer.add_char buf 'p';
-          istr destination;
-          asset a;
-          int amount
+          acct.write w destination;
+          Writer.hyper w starting_balance
+      | Payment { destination; asset; amount } ->
+          acct.write w destination;
+          Asset.xdr.write w asset;
+          Writer.hyper w amount
       | Path_payment { send_asset; send_max; destination; dest_asset; dest_amount; path } ->
-          Buffer.add_char buf 'P';
-          asset send_asset;
-          int send_max;
-          istr destination;
-          asset dest_asset;
-          int dest_amount;
-          int (List.length path);
-          List.iter asset path
+          Asset.xdr.write w send_asset;
+          Writer.hyper w send_max;
+          acct.write w destination;
+          Asset.xdr.write w dest_asset;
+          Writer.hyper w dest_amount;
+          (list ~max:5 Asset.xdr).write w path
       | Manage_offer { offer_id; selling; buying; amount; price; passive } ->
-          Buffer.add_char buf 'o';
-          int offer_id;
-          asset selling;
-          asset buying;
-          int amount;
-          int price.Price.n;
-          int price.Price.d;
-          Buffer.add_char buf (if passive then '\001' else '\000')
+          Writer.hyper w offer_id;
+          Asset.xdr.write w selling;
+          Asset.xdr.write w buying;
+          Writer.hyper w amount;
+          Price.xdr.write w price;
+          Writer.bool w passive
       | Set_options o ->
-          Buffer.add_char buf 's';
-          opt_int o.master_weight;
-          opt_int o.low;
-          opt_int o.medium;
-          opt_int o.high;
-          (match o.signer with
-          | None -> Buffer.add_char buf '\000'
-          | Some (Set_signer s) ->
-              Buffer.add_char buf '\001';
-              istr s.Entry.key;
-              int s.Entry.weight
-          | Some (Remove_signer k) ->
-              Buffer.add_char buf '\002';
-              istr k);
-          (match o.home_domain with
-          | None -> Buffer.add_char buf '\000'
-          | Some d ->
-              Buffer.add_char buf '\001';
-              istr d);
-          opt_int (Option.map Bool.to_int o.set_auth_required);
-          opt_int (Option.map Bool.to_int o.set_auth_revocable);
-          opt_int (Option.map Bool.to_int o.set_auth_immutable)
-      | Change_trust { asset = a; limit } ->
-          Buffer.add_char buf 'T';
-          asset a;
-          int limit
+          (option hyper).write w o.master_weight;
+          (option hyper).write w o.low;
+          (option hyper).write w o.medium;
+          (option hyper).write w o.high;
+          (option signer_update_xdr).write w o.signer;
+          (option (str ())).write w o.home_domain;
+          (option bool).write w o.set_auth_required;
+          (option bool).write w o.set_auth_revocable;
+          (option bool).write w o.set_auth_immutable
+      | Change_trust { asset; limit } ->
+          Asset.xdr.write w asset;
+          Writer.hyper w limit
       | Allow_trust { trustor; asset_code; authorize } ->
-          Buffer.add_char buf 'A';
-          istr trustor;
-          istr asset_code;
-          Buffer.add_char buf (if authorize then '\001' else '\000')
-      | Account_merge { destination } ->
-          Buffer.add_char buf 'm';
-          istr destination
+          acct.write w trustor;
+          Writer.opaque_var w ~max:12 asset_code;
+          Writer.bool w authorize
+      | Account_merge { destination } -> acct.write w destination
       | Manage_data { name; value } ->
-          Buffer.add_char buf 'd';
-          istr name;
-          (match value with
-          | None -> Buffer.add_char buf '\000'
-          | Some v ->
-              Buffer.add_char buf '\001';
-              istr v)
-      | Bump_sequence { bump_to } ->
-          Buffer.add_char buf 'b';
-          int bump_to
-      | Set_inflation_dest { dest } ->
-          Buffer.add_char buf 'i';
-          istr dest
-      | Inflation -> Buffer.add_char buf 'I')
-    tx.operations;
-  Buffer.contents buf
+          Writer.opaque_var w name;
+          (option (str ())).write w value
+      | Bump_sequence { bump_to } -> Writer.hyper w bump_to
+      | Set_inflation_dest { dest } -> acct.write w dest
+      | Inflation -> ())
+    ~read_arm:(fun tag r ->
+      match tag with
+      | 0 ->
+          let destination = acct.read r in
+          let starting_balance = Reader.hyper r in
+          Create_account { destination; starting_balance }
+      | 1 ->
+          let destination = acct.read r in
+          let asset = Asset.xdr.read r in
+          let amount = Reader.hyper r in
+          Payment { destination; asset; amount }
+      | 2 ->
+          let send_asset = Asset.xdr.read r in
+          let send_max = Reader.hyper r in
+          let destination = acct.read r in
+          let dest_asset = Asset.xdr.read r in
+          let dest_amount = Reader.hyper r in
+          let path = (list ~max:5 Asset.xdr).read r in
+          Path_payment { send_asset; send_max; destination; dest_asset; dest_amount; path }
+      | 3 ->
+          let offer_id = Reader.hyper r in
+          let selling = Asset.xdr.read r in
+          let buying = Asset.xdr.read r in
+          let amount = Reader.hyper r in
+          let price = Price.xdr.read r in
+          let passive = Reader.bool r in
+          Manage_offer { offer_id; selling; buying; amount; price; passive }
+      | 4 ->
+          let master_weight = (option hyper).read r in
+          let low = (option hyper).read r in
+          let medium = (option hyper).read r in
+          let high = (option hyper).read r in
+          let signer = (option signer_update_xdr).read r in
+          let home_domain = (option (str ())).read r in
+          let set_auth_required = (option bool).read r in
+          let set_auth_revocable = (option bool).read r in
+          let set_auth_immutable = (option bool).read r in
+          Set_options
+            { master_weight; low; medium; high; signer; home_domain; set_auth_required;
+              set_auth_revocable; set_auth_immutable }
+      | 5 ->
+          let asset = Asset.xdr.read r in
+          let limit = Reader.hyper r in
+          Change_trust { asset; limit }
+      | 6 ->
+          let trustor = acct.read r in
+          let asset_code = Reader.opaque_var r ~max:12 () in
+          let authorize = Reader.bool r in
+          Allow_trust { trustor; asset_code; authorize }
+      | 7 -> Account_merge { destination = acct.read r }
+      | 8 ->
+          let name = Reader.opaque_var r () in
+          let value = (option (str ())).read r in
+          Manage_data { name; value }
+      | 9 -> Bump_sequence { bump_to = Reader.hyper r }
+      | 10 -> Set_inflation_dest { dest = acct.read r }
+      | 11 -> Inflation
+      | _ -> raise (Xdr.Error "Tx.operation: bad discriminant"))
+
+let operation_xdr =
+  Xdr.conv
+    (fun o -> (o.op_source, o.body))
+    (fun (op_source, body) -> { op_source; body })
+    Xdr.(pair (option (str ())) body_xdr)
+
+let xdr =
+  let open Xdr in
+  {
+    write =
+      (fun w tx ->
+        Writer.opaque_var w tx.source;
+        Writer.hyper w tx.fee;
+        Writer.hyper w tx.seq_num;
+        (option time_bounds_xdr).write w tx.time_bounds;
+        memo_xdr.write w tx.memo;
+        (list ~max:100 operation_xdr).write w tx.operations);
+    read =
+      (fun r ->
+        let source = Reader.opaque_var r () in
+        let fee = Reader.hyper r in
+        let seq_num = Reader.hyper r in
+        let time_bounds = (option time_bounds_xdr).read r in
+        let memo = memo_xdr.read r in
+        let operations = (list ~max:100 operation_xdr).read r in
+        { source; fee; seq_num; time_bounds; memo; operations });
+  }
+
+let signed_xdr =
+  Xdr.conv
+    (fun s -> (s.tx, s.signatures))
+    (fun (tx, signatures) -> { tx; signatures })
+    Xdr.(pair xdr (list ~max:20 (pair (str ()) (str ()))))
+
+let encode tx = Xdr.encode xdr tx
+let decode s = Xdr.decode xdr s
+let decode_signed s = Xdr.decode signed_xdr s
 
 let network_id = Stellar_crypto.Sha256.digest "stellar-repro network ; 2026"
 
@@ -197,9 +277,7 @@ let co_sign signed ~secret ~public ~scheme =
 
 let operation_count tx = List.length tx.operations
 
-let size signed =
-  String.length (encode signed.tx)
-  + List.fold_left (fun acc (k, s) -> acc + String.length k + String.length s) 0 signed.signatures
+let size signed = Xdr.encoded_length signed_xdr signed
 
 type threshold_level = Low | Medium | High
 

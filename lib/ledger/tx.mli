@@ -82,15 +82,26 @@ val make :
   t
 (** [fee] defaults to 100 stroops per operation. *)
 
+val xdr : t Stellar_xdr.Xdr.codec
+val signed_xdr : signed Stellar_xdr.Xdr.codec
+
 val encode : t -> string
+(** Canonical XDR bytes ({!xdr}). *)
+
+val decode : string -> (t, string) result
+val decode_signed : string -> (signed, string) result
+
 val hash : t -> string
-(** SHA-256 over a network-prefixed encoding; this is what gets signed. *)
+(** SHA-256 over the network-prefixed canonical XDR encoding; this is what
+    gets signed. *)
 
 val sign : t -> secret:string -> public:account_id -> scheme:(module Stellar_crypto.Sig_intf.SCHEME with type secret = string) -> signed
 val co_sign : signed -> secret:string -> public:account_id -> scheme:(module Stellar_crypto.Sig_intf.SCHEME with type secret = string) -> signed
 
 val operation_count : t -> int
+
 val size : signed -> int
+(** Exact wire size: [Bytes.length] of the {!signed_xdr} encoding. *)
 
 (** Threshold category of an operation (§5.2: multisig accounts can require
     higher weight for some operations). *)

@@ -1,16 +1,27 @@
+module Xdr = Stellar_xdr.Xdr
+
 type t =
   | Envelope of Scp.Types.envelope
   | Tx_set_msg of Stellar_herder.Tx_set.t
   | Tx_msg of Stellar_ledger.Tx.signed
 
-let size = function
-  | Envelope env -> Scp.Types.envelope_size env
-  | Tx_set_msg ts -> Stellar_herder.Tx_set.size_bytes ts + 64
-  | Tx_msg signed -> Stellar_ledger.Tx.size signed
+let xdr =
+  Xdr.union
+    ~tag:(function Envelope _ -> 0 | Tx_set_msg _ -> 1 | Tx_msg _ -> 2)
+    ~write_arm:(fun w -> function
+      | Envelope env -> Scp.Types.envelope_xdr.Xdr.write w env
+      | Tx_set_msg ts -> Stellar_herder.Tx_set.xdr.Xdr.write w ts
+      | Tx_msg signed -> Stellar_ledger.Tx.signed_xdr.Xdr.write w signed)
+    ~read_arm:(fun tag r ->
+      match tag with
+      | 0 -> Envelope (Scp.Types.envelope_xdr.Xdr.read r)
+      | 1 -> Tx_set_msg (Stellar_herder.Tx_set.xdr.Xdr.read r)
+      | 2 -> Tx_msg (Stellar_ledger.Tx.signed_xdr.Xdr.read r)
+      | _ -> raise (Xdr.Error "Message: bad discriminant"))
 
-let dedup_key = function
-  | Envelope env ->
-      Stellar_crypto.Sha256.digest_list
-        [ "env"; Scp.Types.statement_bytes env.Scp.Types.statement; env.Scp.Types.signature ]
-  | Tx_set_msg ts -> Stellar_herder.Tx_set.hash ts
-  | Tx_msg signed -> Stellar_ledger.Tx.hash signed.Stellar_ledger.Tx.tx
+let encode m = Xdr.encode xdr m
+let decode s = Xdr.decode xdr s
+
+let size m = Xdr.encoded_length xdr m
+
+let dedup_key m = Stellar_crypto.Sha256.digest (encode m)

@@ -1,13 +1,23 @@
 (** Overlay wire messages: SCP envelopes, transaction sets and transactions
-    flooded among peers (§5.4, §7.5: a naive flooding protocol). *)
+    flooded among peers (§5.4, §7.5: a naive flooding protocol).  The flood
+    wrapper is an XDR union, so its overhead is the measured 4-byte
+    discriminant plus the member's canonical encoding — no estimates. *)
 
 type t =
   | Envelope of Scp.Types.envelope
   | Tx_set_msg of Stellar_herder.Tx_set.t
   | Tx_msg of Stellar_ledger.Tx.signed
 
+val xdr : t Stellar_xdr.Xdr.codec
+
+val encode : t -> string
+(** Canonical XDR bytes of the flood wrapper. *)
+
+val decode : string -> (t, string) result
+
 val size : t -> int
-(** Serialized size in bytes, for bandwidth accounting (§7.4). *)
+(** Serialized size in bytes, for bandwidth accounting (§7.4): exactly
+    [String.length (encode m)]. *)
 
 val dedup_key : t -> string
-(** Hash used by flood deduplication. *)
+(** Hash used by flood deduplication: SHA-256 over {!encode}. *)

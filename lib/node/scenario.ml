@@ -41,6 +41,8 @@ type report = {
   ballot_timeouts_per_ledger : Metrics.summary;
   envelopes_per_ledger : float;
   msgs_per_second_per_node : float;
+  bytes_in_total : int;
+  bytes_out_total : int;
   bytes_in_per_second : float;
   bytes_out_per_second : float;
   diverged : bool;
@@ -212,6 +214,8 @@ let run p =
       (if virtual_elapsed > 0.0 then
          float_of_int node0.Stellar_sim.Network.msgs_sent /. virtual_elapsed
        else 0.0);
+    bytes_in_total = node0.Stellar_sim.Network.bytes_received;
+    bytes_out_total = node0.Stellar_sim.Network.bytes_sent;
     bytes_in_per_second =
       (if virtual_elapsed > 0.0 then
          float_of_int node0.Stellar_sim.Network.bytes_received /. virtual_elapsed

@@ -38,6 +38,8 @@ type report = {
   ballot_timeouts_per_ledger : Metrics.summary;
   envelopes_per_ledger : float;  (** logical SCP envelopes emitted per ledger *)
   msgs_per_second_per_node : float;
+  bytes_in_total : int;  (** XDR bytes received by node 0 over the run *)
+  bytes_out_total : int;
   bytes_in_per_second : float;  (** observed at node 0 *)
   bytes_out_per_second : float;
   diverged : bool;  (** any two validators on different header chains *)

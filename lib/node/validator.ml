@@ -21,10 +21,13 @@ let own_envelopes t = t.own_envelopes
    re-announcing its last statement must not be silenced by its own dedup
    table). *)
 let flood t ?except ?(force = false) msg =
-  let key = Message.dedup_key msg in
+  (* Encode once: the dedup key and the wire size both come from the same
+     canonical bytes. *)
+  let encoded = Message.encode msg in
+  let key = Stellar_crypto.Sha256.digest encoded in
   if force || not (Hashtbl.mem t.seen key) then begin
     Hashtbl.replace t.seen key ();
-    let size = Message.size msg in
+    let size = String.length encoded in
     List.iter
       (fun peer ->
         if Some peer <> except && peer <> t.index then begin

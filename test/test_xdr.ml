@@ -1,0 +1,648 @@
+(* The XDR wire-format suite: randomized round-trip properties for every
+   codec (seeded by Stellar_sim.Rng, so failures reproduce), strict-decoding
+   checks, golden hex vectors pinning the wire format, and the archive blob
+   round trip.
+
+   Regenerate the golden vectors with:
+     XDR_PRINT_GOLDEN=1 dune exec test/test_xdr.exe -- test golden 2>/dev/null *)
+
+open Stellar_ledger
+module Xdr = Stellar_xdr.Xdr
+module Rng = Stellar_sim.Rng
+
+let hex = Stellar_crypto.Hex.encode
+let sha256 = Stellar_crypto.Sha256.digest
+
+let rng = Rng.create ~seed:0xC0FFEE
+
+(* ---------- random generators ---------- *)
+
+let gen_blob max = Rng.bytes rng (Rng.int rng (max + 1))
+let gen_acct () = Rng.bytes rng (1 + Rng.int rng 16)
+
+let gen_asset () =
+  if Rng.bool rng then Asset.native
+  else Asset.credit ~code:(Rng.bytes rng (1 + Rng.int rng 12)) ~issuer:(gen_acct ())
+
+let gen_price () = Price.make ~n:(1 + Rng.int rng 1_000_000) ~d:(1 + Rng.int rng 1_000_000)
+
+let gen_signer () = { Entry.key = gen_acct (); weight = Rng.int rng 256 }
+
+let gen_account_entry () =
+  Entry.Account_entry
+    {
+      id = gen_acct ();
+      balance = Rng.int rng 1_000_000_000;
+      seq_num = Rng.int rng 1_000_000;
+      num_sub_entries = Rng.int rng 32;
+      flags =
+        {
+          auth_required = Rng.bool rng;
+          auth_revocable = Rng.bool rng;
+          auth_immutable = Rng.bool rng;
+        };
+      thresholds =
+        {
+          master_weight = Rng.int rng 256;
+          low = Rng.int rng 256;
+          medium = Rng.int rng 256;
+          high = Rng.int rng 256;
+        };
+      signers = List.init (Rng.int rng 3) (fun _ -> gen_signer ());
+      home_domain = gen_blob 24;
+      inflation_dest = (if Rng.bool rng then Some (gen_acct ()) else None);
+    }
+
+let gen_entry () =
+  match Rng.int rng 4 with
+  | 0 -> gen_account_entry ()
+  | 1 ->
+      Entry.Trustline_entry
+        {
+          account = gen_acct ();
+          asset = gen_asset ();
+          tl_balance = Rng.int rng 1_000_000;
+          limit = Rng.int rng 10_000_000;
+          authorized = Rng.bool rng;
+        }
+  | 2 ->
+      Entry.Offer_entry
+        {
+          offer_id = Rng.int rng 1_000_000;
+          seller = gen_acct ();
+          selling = gen_asset ();
+          buying = gen_asset ();
+          amount = 1 + Rng.int rng 1_000_000;
+          price = gen_price ();
+          passive = Rng.bool rng;
+        }
+  | _ -> Entry.Data_entry { owner = gen_acct (); name = gen_blob 12; value = gen_blob 32 }
+
+let gen_key () =
+  match Rng.int rng 4 with
+  | 0 -> Entry.Account_key (gen_acct ())
+  | 1 -> Entry.Trustline_key (gen_acct (), gen_asset ())
+  | 2 -> Entry.Offer_key (Rng.int rng 1_000_000)
+  | _ -> Entry.Data_key (gen_acct (), gen_blob 12)
+
+let gen_body () =
+  match Rng.int rng 12 with
+  | 0 -> Tx.Create_account { destination = gen_acct (); starting_balance = Rng.int rng 100000 }
+  | 1 ->
+      Tx.Payment
+        { destination = gen_acct (); asset = gen_asset (); amount = 1 + Rng.int rng 100000 }
+  | 2 ->
+      Tx.Path_payment
+        {
+          send_asset = gen_asset ();
+          send_max = 1 + Rng.int rng 100000;
+          destination = gen_acct ();
+          dest_asset = gen_asset ();
+          dest_amount = 1 + Rng.int rng 100000;
+          path = List.init (Rng.int rng 3) (fun _ -> gen_asset ());
+        }
+  | 3 ->
+      Tx.Manage_offer
+        {
+          offer_id = Rng.int rng 1000;
+          selling = gen_asset ();
+          buying = gen_asset ();
+          amount = Rng.int rng 100000;
+          price = gen_price ();
+          passive = Rng.bool rng;
+        }
+  | 4 ->
+      let opt f = if Rng.bool rng then Some (f ()) else None in
+      Tx.Set_options
+        {
+          master_weight = opt (fun () -> Rng.int rng 256);
+          low = opt (fun () -> Rng.int rng 256);
+          medium = opt (fun () -> Rng.int rng 256);
+          high = opt (fun () -> Rng.int rng 256);
+          signer =
+            opt (fun () ->
+                if Rng.bool rng then Tx.Set_signer (gen_signer ())
+                else Tx.Remove_signer (gen_acct ()));
+          home_domain = opt (fun () -> gen_blob 24);
+          set_auth_required = opt (fun () -> Rng.bool rng);
+          set_auth_revocable = opt (fun () -> Rng.bool rng);
+          set_auth_immutable = opt (fun () -> Rng.bool rng);
+        }
+  | 5 -> Tx.Change_trust { asset = gen_asset (); limit = Rng.int rng 10_000_000 }
+  | 6 ->
+      Tx.Allow_trust
+        {
+          trustor = gen_acct ();
+          asset_code = Rng.bytes rng (1 + Rng.int rng 12);
+          authorize = Rng.bool rng;
+        }
+  | 7 -> Tx.Account_merge { destination = gen_acct () }
+  | 8 ->
+      Tx.Manage_data
+        { name = gen_blob 12; value = (if Rng.bool rng then Some (gen_blob 16) else None) }
+  | 9 -> Tx.Bump_sequence { bump_to = Rng.int rng 1_000_000 }
+  | 10 -> Tx.Set_inflation_dest { dest = gen_acct () }
+  | _ -> Tx.Inflation
+
+let gen_tx () =
+  {
+    Tx.source = gen_acct ();
+    fee = Rng.int rng 10_000;
+    seq_num = Rng.int rng 1_000_000;
+    time_bounds =
+      (if Rng.bool rng then Some { Tx.min_time = Rng.int rng 1000; max_time = Rng.int rng 100000 }
+       else None);
+    memo =
+      (match Rng.int rng 3 with
+      | 0 -> Tx.Memo_none
+      | 1 -> Tx.Memo_text (gen_blob 28)
+      | _ -> Tx.Memo_hash (Rng.bytes rng 32));
+    operations =
+      List.init (1 + Rng.int rng 3) (fun _ -> { Tx.op_source = None; body = gen_body () });
+  }
+
+let gen_signed () =
+  {
+    Tx.tx = gen_tx ();
+    signatures = List.init (Rng.int rng 3) (fun _ -> (gen_acct (), Rng.bytes rng 16));
+  }
+
+let gen_header () =
+  {
+    Header.ledger_seq = Rng.int rng 1_000_000;
+    prev_hash = Rng.bytes rng 32;
+    scp_value_hash = Rng.bytes rng 32;
+    tx_set_hash = Rng.bytes rng 32;
+    results_hash = Rng.bytes rng 32;
+    snapshot_hash = Rng.bytes rng 32;
+    close_time = Rng.int rng 1_000_000;
+    base_fee = 100 + Rng.int rng 100;
+    base_reserve = Rng.int rng 1_000_000;
+    protocol_version = Rng.int rng 20;
+    fee_pool = Rng.int rng 1_000_000;
+    id_pool = Rng.int rng 1_000_000;
+    skip_list = List.init (Rng.int rng 4) (fun _ -> Rng.bytes rng 32);
+  }
+
+let rec gen_qset depth =
+  let n_vals = 1 + Rng.int rng 4 in
+  let validators = List.init n_vals (fun _ -> gen_acct ()) in
+  let inner =
+    if depth >= 2 then [] else List.init (Rng.int rng 2) (fun _ -> gen_qset (depth + 1))
+  in
+  let n = List.length validators + List.length inner in
+  Scp.Quorum_set.make ~threshold:(1 + Rng.int rng n) ~inner validators
+
+let gen_ballot () =
+  {
+    Scp.Types.counter =
+      (if Rng.int rng 10 = 0 then Scp.Types.Ballot.max_counter else Rng.int rng 1000);
+    value = gen_blob 48;
+  }
+
+let gen_pledge () =
+  match Rng.int rng 4 with
+  | 0 ->
+      Scp.Types.Nominate
+        {
+          votes = List.init (Rng.int rng 3) (fun _ -> gen_blob 32);
+          accepted = List.init (Rng.int rng 3) (fun _ -> gen_blob 32);
+        }
+  | 1 ->
+      Scp.Types.Prepare
+        {
+          ballot = gen_ballot ();
+          prepared = (if Rng.bool rng then Some (gen_ballot ()) else None);
+          prepared_prime = (if Rng.bool rng then Some (gen_ballot ()) else None);
+          n_c = Rng.int rng 100;
+          n_h = Rng.int rng 100;
+        }
+  | 2 ->
+      Scp.Types.Confirm
+        {
+          ballot = gen_ballot ();
+          n_prepared = Rng.int rng 100;
+          n_commit = Rng.int rng 100;
+          n_h = Rng.int rng 100;
+        }
+  | _ -> Scp.Types.Externalize { commit = gen_ballot (); n_h = Rng.int rng 100 }
+
+let gen_statement () =
+  {
+    Scp.Types.node_id = gen_acct ();
+    slot = Rng.int rng 1_000_000;
+    quorum_set = gen_qset 0;
+    pledge = gen_pledge ();
+  }
+
+let gen_envelope () = { Scp.Types.statement = gen_statement (); signature = Rng.bytes rng 32 }
+
+let gen_value () =
+  let tags = List.filter (fun _ -> Rng.bool rng) [ 0; 1; 2 ] in
+  {
+    Stellar_herder.Value.tx_set_hash = Rng.bytes rng 32;
+    close_time = Rng.int rng 1_000_000;
+    upgrades =
+      List.map
+        (function
+          | 0 -> Stellar_herder.Value.Upgrade_base_fee (100 + Rng.int rng 1000)
+          | 1 -> Stellar_herder.Value.Upgrade_base_reserve (1 + Rng.int rng 1000)
+          | _ -> Stellar_herder.Value.Upgrade_protocol_version (1 + Rng.int rng 50))
+        tags;
+  }
+
+let gen_tx_set () =
+  Stellar_herder.Tx_set.make ~prev_header_hash:(Rng.bytes rng 32)
+    (List.init (Rng.int rng 4) (fun _ -> gen_signed ()))
+
+let gen_message () =
+  match Rng.int rng 3 with
+  | 0 -> Stellar_node.Message.Envelope (gen_envelope ())
+  | 1 -> Stellar_node.Message.Tx_set_msg (gen_tx_set ())
+  | _ -> Stellar_node.Message.Tx_msg (gen_signed ())
+
+let gen_item () =
+  {
+    Stellar_bucket.Bucket.key = gen_key ();
+    entry = (if Rng.bool rng then Some (gen_entry ()) else None);
+  }
+
+let gen_bucket_list () =
+  let bl = ref (Stellar_bucket.Bucket_list.create ~levels:4 ()) in
+  for _ = 1 to Rng.int rng 4 do
+    bl :=
+      Stellar_bucket.Bucket_list.add_batch !bl (List.init (1 + Rng.int rng 4) (fun _ -> gen_item ()))
+  done;
+  !bl
+
+(* ---------- round-trip properties ---------- *)
+
+let iterations = 100
+
+(* decode ∘ encode = id (structural), and encode ∘ decode = id (bytes): both
+   are implied by [Xdr.round_trips] plus the structural equality check. *)
+let roundtrip_case name codec gen =
+  Alcotest.test_case name `Quick (fun () ->
+      for i = 1 to iterations do
+        let v = gen () in
+        let enc = Xdr.encode codec v in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: 4-byte alignment (iter %d)" name i)
+          true
+          (String.length enc mod 4 = 0);
+        (match Xdr.decode codec enc with
+        | Error e -> Alcotest.failf "%s: decode failed (iter %d): %s" name i e
+        | Ok v' ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: decode(encode v) = v (iter %d)" name i)
+              true (v' = v);
+            Alcotest.(check string)
+              (Printf.sprintf "%s: encode(decode bytes) = bytes (iter %d)" name i)
+              (hex enc)
+              (hex (Xdr.encode codec v')));
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: round_trips (iter %d)" name i)
+          true (Xdr.round_trips codec v)
+      done)
+
+(* Tx_set / Bucket / Bucket_list values are abstract or carry derived
+   fields; compare via canonical bytes and hashes instead of (=). *)
+let roundtrip_bytes_case name codec gen hash_of =
+  Alcotest.test_case name `Quick (fun () ->
+      for i = 1 to iterations do
+        let v = gen () in
+        let enc = Xdr.encode codec v in
+        match Xdr.decode codec enc with
+        | Error e -> Alcotest.failf "%s: decode failed (iter %d): %s" name i e
+        | Ok v' ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s: canonical bytes (iter %d)" name i)
+              (hex enc)
+              (hex (Xdr.encode codec v'));
+            Alcotest.(check string)
+              (Printf.sprintf "%s: hash stable (iter %d)" name i)
+              (hex (hash_of v)) (hex (hash_of v'))
+      done)
+
+let roundtrip_tests =
+  [
+    roundtrip_case "price" Price.xdr gen_price;
+    roundtrip_case "asset" Asset.xdr gen_asset;
+    roundtrip_case "entry key" Entry.key_xdr gen_key;
+    roundtrip_case "ledger entry" Entry.entry_xdr gen_entry;
+    roundtrip_case "transaction" Tx.xdr gen_tx;
+    roundtrip_case "signed transaction" Tx.signed_xdr gen_signed;
+    roundtrip_case "ledger header" Header.xdr gen_header;
+    roundtrip_case "quorum set" Scp.Quorum_set.xdr (fun () -> gen_qset 0);
+    roundtrip_case "scp statement" Scp.Types.statement_xdr gen_statement;
+    roundtrip_case "scp envelope" Scp.Types.envelope_xdr gen_envelope;
+    roundtrip_case "consensus value" Stellar_herder.Value.xdr gen_value;
+    roundtrip_case "bucket item" Stellar_bucket.Bucket.item_xdr gen_item;
+    roundtrip_case "overlay message" Stellar_node.Message.xdr gen_message;
+    roundtrip_bytes_case "tx set" Stellar_herder.Tx_set.xdr gen_tx_set
+      Stellar_herder.Tx_set.hash;
+    roundtrip_bytes_case "bucket list" Stellar_bucket.Bucket_list.xdr gen_bucket_list
+      Stellar_bucket.Bucket_list.hash;
+  ]
+
+(* ---------- primitives & strictness ---------- *)
+
+let prim_tests =
+  let open Alcotest in
+  [
+    test_case "primitive golden vectors" `Quick (fun () ->
+        check string "uint32 1" "00000001" (hex (Xdr.encode Xdr.uint32 1));
+        check string "uint32 max" "ffffffff" (hex (Xdr.encode Xdr.uint32 0xffff_ffff));
+        check string "int32 -1" "ffffffff" (hex (Xdr.encode Xdr.int32 (-1)));
+        check string "hyper -1" "ffffffffffffffff" (hex (Xdr.encode Xdr.hyper (-1)));
+        check string "hyper 2^40" "0000010000000000" (hex (Xdr.encode Xdr.hyper (1 lsl 40)));
+        check string "bool true" "00000001" (hex (Xdr.encode Xdr.bool true));
+        check string "str hi (padded)" "0000000268690000" (hex (Xdr.encode (Xdr.str ()) "hi"));
+        check string "str empty" "00000000" (hex (Xdr.encode (Xdr.str ()) ""));
+        check string "opaque3 abc" "61626300" (hex (Xdr.encode (Xdr.opaque 3) "abc"));
+        check string "option none" "00000000" (hex (Xdr.encode (Xdr.option Xdr.uint32) None));
+        check string "option some 7" "0000000100000007"
+          (hex (Xdr.encode (Xdr.option Xdr.uint32) (Some 7)));
+        check string "list [1;2]" "000000020000000100000002"
+          (hex (Xdr.encode (Xdr.list Xdr.uint32) [ 1; 2 ])));
+    test_case "primitive integer round trips" `Quick (fun () ->
+        List.iter
+          (fun v -> check bool "int32" true (Xdr.round_trips Xdr.int32 v))
+          [ 0; 1; -1; 0x7fff_ffff; -0x8000_0000 ];
+        List.iter
+          (fun v -> check bool "uint32" true (Xdr.round_trips Xdr.uint32 v))
+          [ 0; 1; 0xffff_ffff ];
+        List.iter
+          (fun v -> check bool "hyper" true (Xdr.round_trips Xdr.hyper v))
+          [ 0; 1; -1; max_int; min_int ]);
+    test_case "writer range checks" `Quick (fun () ->
+        let raises f = match f () with _ -> false | exception Xdr.Error _ -> true in
+        check bool "uint32 negative" true (raises (fun () -> Xdr.encode Xdr.uint32 (-1)));
+        check bool "uint32 too big" true (raises (fun () -> Xdr.encode Xdr.uint32 0x1_0000_0000));
+        check bool "int32 too big" true (raises (fun () -> Xdr.encode Xdr.int32 0x8000_0000));
+        check bool "opaque wrong length" true
+          (raises (fun () -> Xdr.encode (Xdr.opaque 4) "abc"));
+        check bool "str over max" true
+          (raises (fun () -> Xdr.encode (Xdr.str ~max:2 ()) "abc")));
+    test_case "strict decoding rejects malformed input" `Quick (fun () ->
+        let is_err = function Error _ -> true | Ok _ -> false in
+        check bool "truncated" true (is_err (Xdr.decode Xdr.uint32 "abc"));
+        check bool "trailing bytes" true
+          (is_err (Xdr.decode Xdr.uint32 "\x00\x00\x00\x01\x00\x00\x00\x00"));
+        (* "a" encodes as 00000001 'a' 000000; corrupt a pad byte *)
+        let enc = Bytes.of_string (Xdr.encode (Xdr.str ()) "a") in
+        Bytes.set enc 7 '\x01';
+        check bool "nonzero padding" true (is_err (Xdr.decode (Xdr.str ()) (Bytes.to_string enc)));
+        (* declared length overruns the buffer *)
+        check bool "length overrun" true
+          (is_err (Xdr.decode (Xdr.str ()) "\x00\x00\x00\xff\x61\x00\x00\x00"));
+        (* absurd list count must fail before allocating *)
+        check bool "huge list count" true
+          (is_err (Xdr.decode (Xdr.list Xdr.uint32) "\xff\xff\xff\xff"));
+        check bool "bad union discriminant" true
+          (is_err (Xdr.decode Asset.xdr "\x00\x00\x00\x07"));
+        check bool "bad bool" true (is_err (Xdr.decode Xdr.bool "\x00\x00\x00\x02")));
+    test_case "quorum set decode re-validates invariants" `Quick (fun () ->
+        (* threshold 3 over 1 validator: structurally decodable, semantically bad *)
+        let w = Xdr.Writer.create () in
+        Xdr.Writer.uint32 w 3;
+        Xdr.Writer.uint32 w 1;
+        Xdr.Writer.opaque_var w "v1";
+        Xdr.Writer.uint32 w 0;
+        match Scp.Quorum_set.decode (Xdr.Writer.contents w) with
+        | Ok _ -> Alcotest.fail "accepted out-of-range threshold"
+        | Error _ -> ());
+  ]
+
+(* ---------- hashes and sizes are measured over canonical bytes ---------- *)
+
+let accounting_tests =
+  let open Alcotest in
+  [
+    test_case "content hashes = SHA-256 of canonical bytes" `Quick (fun () ->
+        for _ = 1 to 25 do
+          let q = gen_qset 0 in
+          check string "quorum set" (hex (sha256 (Scp.Quorum_set.encode q)))
+            (hex (Scp.Quorum_set.hash q));
+          let h = gen_header () in
+          check string "header" (hex (sha256 (Header.encode h))) (hex (Header.hash h));
+          let v = gen_value () in
+          check string "value"
+            (hex (sha256 (Stellar_herder.Value.encode v)))
+            (hex (Stellar_herder.Value.hash v));
+          let ts = gen_tx_set () in
+          check string "tx set"
+            (hex (sha256 (Stellar_herder.Tx_set.encode ts)))
+            (hex (Stellar_herder.Tx_set.hash ts));
+          let m = gen_message () in
+          check string "message dedup key"
+            (hex (sha256 (Stellar_node.Message.encode m)))
+            (hex (Stellar_node.Message.dedup_key m))
+        done);
+    test_case "sizes = Bytes.length of the actual encoding" `Quick (fun () ->
+        for _ = 1 to 25 do
+          let s = gen_signed () in
+          check int "tx size" (String.length (Xdr.encode Tx.signed_xdr s)) (Tx.size s);
+          let e = gen_envelope () in
+          check int "envelope size"
+            (String.length (Scp.Types.encode_envelope e))
+            (Scp.Types.envelope_size e);
+          let ts = gen_tx_set () in
+          check int "tx set size"
+            (String.length (Stellar_herder.Tx_set.encode ts))
+            (Stellar_herder.Tx_set.size_bytes ts);
+          let m = gen_message () in
+          check int "message size"
+            (String.length (Stellar_node.Message.encode m))
+            (Stellar_node.Message.size m)
+        done);
+  ]
+
+(* ---------- golden vectors for domain codecs ---------- *)
+
+(* Fixed values encoded byte-for-byte.  If one of these checks fails, the
+   wire format changed: every content hash in the system changes with it,
+   so this must be a deliberate, documented decision. *)
+
+let golden_asset = Asset.credit ~code:"USD" ~issuer:"issuer-1"
+
+let golden_tx =
+  {
+    Tx.source = "alice";
+    fee = 200;
+    seq_num = 42;
+    time_bounds = Some { Tx.min_time = 5; max_time = 500 };
+    memo = Tx.Memo_text "hello";
+    operations =
+      [
+        {
+          Tx.op_source = None;
+          body = Tx.Payment { destination = "bob"; asset = golden_asset; amount = 1000 };
+        };
+      ];
+  }
+
+let golden_signed = { Tx.tx = golden_tx; signatures = [ ("alice", "sig-bytes") ] }
+
+let golden_header =
+  {
+    Header.ledger_seq = 7;
+    prev_hash = "prev";
+    scp_value_hash = "scpv";
+    tx_set_hash = "txs";
+    results_hash = "res";
+    snapshot_hash = "snap";
+    close_time = 1234;
+    base_fee = 100;
+    base_reserve = 5000000;
+    protocol_version = 1;
+    fee_pool = 300;
+    id_pool = 9;
+    skip_list = [ "s0"; "s1" ];
+  }
+
+let golden_envelope =
+  {
+    Scp.Types.statement =
+      {
+        Scp.Types.node_id = "node-a";
+        slot = 7;
+        quorum_set = Scp.Quorum_set.make ~threshold:1 [ "node-a" ];
+        pledge =
+          Scp.Types.Prepare
+            {
+              ballot = { Scp.Types.counter = 2; value = "val" };
+              prepared = Some { Scp.Types.counter = 1; value = "val" };
+              prepared_prime = None;
+              n_c = 0;
+              n_h = 1;
+            };
+      };
+    signature = "sig";
+  }
+
+let golden_value =
+  {
+    Stellar_herder.Value.tx_set_hash = "tsh";
+    close_time = 1000;
+    upgrades = [ Stellar_herder.Value.Upgrade_base_fee 250 ];
+  }
+
+let golden_entry =
+  Entry.Trustline_entry
+    {
+      account = "bob";
+      asset = golden_asset;
+      tl_balance = 77;
+      limit = 1000;
+      authorized = true;
+    }
+
+let golden_item = { Stellar_bucket.Bucket.key = Entry.Account_key "gone"; entry = None }
+
+let goldens : (string * string * string) list Lazy.t =
+  lazy
+    [
+      ( "asset",
+        hex (Xdr.encode Asset.xdr golden_asset),
+        "000000010000000355534400000000086973737565722d31" );
+      ( "tx",
+        hex (Xdr.encode Tx.xdr golden_tx),
+        "00000005616c69636500000000000000000000c8000000000000002a00000001000000000000000500000000000001f4000000010000000568656c6c6f00000000000001000000000000000100000003626f6200000000010000000355534400000000086973737565722d3100000000000003e8"
+      );
+      ( "signed tx",
+        hex (Xdr.encode Tx.signed_xdr golden_signed),
+        "00000005616c69636500000000000000000000c8000000000000002a00000001000000000000000500000000000001f4000000010000000568656c6c6f00000000000001000000000000000100000003626f6200000000010000000355534400000000086973737565722d3100000000000003e80000000100000005616c696365000000000000097369672d6279746573000000"
+      );
+      ( "header",
+        hex (Xdr.encode Header.xdr golden_header),
+        "0000000000000007000000047072657600000004736370760000000374787300000000037265730000000004736e617000000000000004d2000000000000006400000000004c4b400000000000000001000000000000012c00000000000000090000000200000002733000000000000273310000"
+      );
+      ( "envelope",
+        hex (Xdr.encode Scp.Types.envelope_xdr golden_envelope),
+        "000000066e6f64652d61000000000000000000070000000100000001000000066e6f64652d610000000000000000000100000000000000020000000376616c000000000100000000000000010000000376616c0000000000000000000000000000000000000000010000000373696700"
+      );
+      ( "value",
+        hex (Xdr.encode Stellar_herder.Value.xdr golden_value),
+        "000000037473680000000000000003e8000000010000000000000000000000fa" );
+      ( "entry",
+        hex (Xdr.encode Entry.entry_xdr golden_entry),
+        "0000000100000003626f6200000000010000000355534400000000086973737565722d31000000000000004d00000000000003e800000001"
+      );
+      ( "bucket item",
+        hex (Xdr.encode Stellar_bucket.Bucket.item_xdr golden_item),
+        "0000000000000004676f6e6500000000" );
+    ]
+
+let () =
+  if Sys.getenv_opt "XDR_PRINT_GOLDEN" <> None then begin
+    List.iter (fun (name, actual, _) -> Printf.eprintf "GOLDEN %-12s %s\n" name actual)
+      (Lazy.force goldens);
+    exit 0
+  end
+
+let golden_tests =
+  [
+    Alcotest.test_case "domain golden vectors" `Quick (fun () ->
+        List.iter
+          (fun (name, actual, expected) -> Alcotest.(check string) name expected actual)
+          (Lazy.force goldens));
+  ]
+
+(* ---------- archive blob round trip ---------- *)
+
+let archive_tests =
+  let open Alcotest in
+  [
+    test_case "archive blob round-trips bit-for-bit" `Quick (fun () ->
+        let a = Stellar_archive.Archive.create ~checkpoint_frequency:4 () in
+        let known_tx = ref None in
+        for seq = 1 to 10 do
+          let txs = List.init 2 (fun _ -> gen_signed ()) in
+          (match (txs, !known_tx) with s :: _, None -> known_tx := Some s | _ -> ());
+          let tx_set = Stellar_herder.Tx_set.make ~prev_header_hash:(Rng.bytes rng 32) txs in
+          let header = { (gen_header ()) with Header.ledger_seq = seq } in
+          Stellar_archive.Archive.record_ledger a ~header ~tx_set ~buckets:(gen_bucket_list ())
+        done;
+        let blob = Stellar_archive.Archive.to_blob a in
+        match Stellar_archive.Archive.of_blob blob with
+        | Error e -> failf "of_blob failed: %s" e
+        | Ok b ->
+            check string "re-serialization is identical" (hex (sha256 blob))
+              (hex (sha256 (Stellar_archive.Archive.to_blob b)));
+            check bool "latest seq" true
+              (Stellar_archive.Archive.latest_seq b = Some 10);
+            check int "checkpoints" 2 (Stellar_archive.Archive.checkpoint_count b);
+            check int "archived bytes" (Stellar_archive.Archive.size_bytes a)
+              (Stellar_archive.Archive.size_bytes b);
+            for seq = 1 to 10 do
+              check bool
+                (Printf.sprintf "header %d equal" seq)
+                true
+                (Stellar_archive.Archive.header a seq = Stellar_archive.Archive.header b seq);
+              let ts_hash x =
+                Option.map Stellar_herder.Tx_set.hash (Stellar_archive.Archive.tx_set_for x seq)
+              in
+              check bool (Printf.sprintf "tx set %d equal" seq) true (ts_hash a = ts_hash b)
+            done;
+            (match !known_tx with
+            | None -> fail "no tx recorded"
+            | Some s ->
+                let h = Tx.hash s.Tx.tx in
+                check bool "tx index rebuilt" true
+                  (Stellar_archive.Archive.find_tx b h <> None)));
+    test_case "of_blob rejects garbage" `Quick (fun () ->
+        check bool "junk" true
+          (Result.is_error (Stellar_archive.Archive.of_blob "garbage-bytes"));
+        check bool "empty" true (Result.is_error (Stellar_archive.Archive.of_blob "")));
+  ]
+
+let () =
+  Alcotest.run "xdr"
+    [
+      ("primitives", prim_tests);
+      ("roundtrip", roundtrip_tests);
+      ("accounting", accounting_tests);
+      ("golden", golden_tests);
+      ("archive", archive_tests);
+    ]
