@@ -3,6 +3,10 @@
 let full = ref false
 (* --full switches to paper-scale parameters (much slower). *)
 
+let smoke = ref false
+(* --smoke shrinks topologies/durations so CI can run the harness in
+   seconds while still exercising every code path and JSON emitter. *)
+
 let section title paper =
   Format.printf "@.==================================================================@.";
   Format.printf "%s@." title;

@@ -7,7 +7,9 @@
 let run () =
   Common.section "tab-resources: per-validator resource usage"
     "§7.4: ~7% CPU, 300 MiB, 2.78/2.56 Mbit/s with 28 peers";
-  let duration = if !Common.full then 1800.0 else 300.0 in
+  let duration =
+    if !Common.full then 1800.0 else if !Common.smoke then 60.0 else 300.0
+  in
   let spec, _ = Stellar_node.Topology.tiered ~leaves:5 () in
   Gc.compact ();
   let cpu0 = Sys.time () in

@@ -16,6 +16,7 @@ let experiments =
     ("fig11-validators", Exp_validators.run);
     ("tab-close", Exp_close.run);
     ("tab-resources", Exp_resources.run);
+    ("fig12-phases", Exp_phases.run);
     ("tab-qic", Exp_quorum.run);
     ("abl-baseline", Exp_baseline.run);
     ("abl-crypto", Micro.run);
@@ -27,6 +28,7 @@ let () =
   let spec =
     [
       ("--full", Arg.Set Common.full, "paper-scale parameters (slow)");
+      ("--smoke", Arg.Set Common.smoke, "tiny parameters for CI smoke runs");
       ("-e", Arg.String (fun s -> selected := s :: !selected), "run one experiment (repeatable)");
       ("--list", Arg.Set list_only, "list experiment ids");
     ]

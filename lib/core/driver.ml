@@ -26,14 +26,55 @@ type t = {
   ballot_timeout : counter:int -> float;
   schedule : delay:float -> (unit -> unit) -> unit -> unit;
   hooks : hooks;
+  obs : Stellar_obs.Sink.t;
 }
 
 let default_nomination_timeout ~round = float_of_int (1 + round)
 let default_ballot_timeout ~counter = float_of_int (1 + counter)
 
+(* Protocol internals already report through [hooks]; with an enabled sink we
+   interpose once here so nomination/ballot code needs no obs plumbing. *)
+let observe_hooks obs hooks =
+  let module S = Stellar_obs.Sink in
+  let module E = Stellar_obs.Event in
+  if not (S.enabled obs) then hooks
+  else
+    {
+      on_nomination_round =
+        (fun ~slot ~round ->
+          S.incr obs "scp.nomination.round";
+          S.emit obs (E.Nomination_round { slot; round });
+          hooks.on_nomination_round ~slot ~round);
+      on_ballot_bump =
+        (fun ~slot ~counter ->
+          S.incr obs "scp.ballot.bump";
+          S.emit obs (E.Ballot_bump { slot; counter });
+          hooks.on_ballot_bump ~slot ~counter);
+      on_timeout =
+        (fun ~slot ~kind ->
+          S.incr obs
+            (match kind with
+            | `Nomination -> "scp.timeout.nomination"
+            | `Ballot -> "scp.timeout.ballot");
+          S.emit obs (E.Timeout_fired { slot; kind });
+          hooks.on_timeout ~slot ~kind);
+      on_phase_change =
+        (fun ~slot ~phase ->
+          (match phase with
+          | "confirm" ->
+              S.incr obs "scp.phase.confirm";
+              S.emit obs (E.Confirm_prepare { slot })
+          | "externalize" ->
+              S.incr obs "scp.phase.externalize";
+              S.emit obs (E.Externalize { slot })
+          | _ -> ());
+          hooks.on_phase_change ~slot ~phase);
+    }
+
 let make ~emit_envelope ~sign ~verify ~validate_value ~combine_candidates
     ~value_externalized ~schedule ?(nomination_timeout = default_nomination_timeout)
-    ?(ballot_timeout = default_ballot_timeout) ?(hooks = no_hooks) () =
+    ?(ballot_timeout = default_ballot_timeout) ?(hooks = no_hooks)
+    ?(obs = Stellar_obs.Sink.null) () =
   {
     emit_envelope;
     sign;
@@ -44,5 +85,6 @@ let make ~emit_envelope ~sign ~verify ~validate_value ~combine_candidates
     nomination_timeout;
     ballot_timeout;
     schedule;
-    hooks;
+    hooks = observe_hooks obs hooks;
+    obs;
   }

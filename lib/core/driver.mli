@@ -32,6 +32,9 @@ type t = {
       (** [schedule ~delay f] starts a timer and returns its cancel
           function. *)
   hooks : hooks;
+  obs : Stellar_obs.Sink.t;
+      (** Observability sink; {!Stellar_obs.Sink.null} disables all
+          instrumentation at the cost of one branch per site. *)
 }
 
 val make :
@@ -45,8 +48,13 @@ val make :
   ?nomination_timeout:(round:int -> float) ->
   ?ballot_timeout:(counter:int -> float) ->
   ?hooks:hooks ->
+  ?obs:Stellar_obs.Sink.t ->
   unit ->
   t
+(** With an enabled [obs] sink, the driver interposes on [hooks] to emit
+    trace events (nomination rounds, ballot bumps, confirm/externalize phase
+    changes, timeouts) and bump the matching [scp.*] counters before calling
+    the caller's hook. *)
 
 val default_nomination_timeout : round:int -> float
 (** stellar-core's schedule: [1 + round] seconds. *)

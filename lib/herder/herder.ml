@@ -53,6 +53,7 @@ type slot_timing = {
 type t = {
   config : config;
   cb : callbacks;
+  obs : Stellar_obs.Sink.t;
   secret : Stellar_crypto.Sim_sig.secret;
   id : Scp.Types.node_id;
   scp : Scp.Protocol.t;
@@ -138,7 +139,17 @@ let rec close_ledger t slot (v : Value.t) =
   | Some ts ->
       let cpu0 = Sys.time () in
       let txs = Tx_set.txs ts in
-      let state', results = Apply.apply_tx_set Apply.sim_ctx t.state ~close_time:v.Value.close_time txs in
+      (* Apply_begin/Apply_end carry tx/op counts at the (single) simulated
+         instant of application; CPU time goes to the ledger.apply_ms
+         histogram, keeping the trace deterministic. *)
+      if Stellar_obs.Sink.enabled t.obs then
+        Stellar_obs.Sink.emit t.obs
+          (Stellar_obs.Event.Apply_begin
+             { slot; txs = Tx_set.tx_count ts; ops = Tx_set.op_count ts });
+      let state', results =
+        Apply.apply_tx_set ~obs:t.obs Apply.sim_ctx t.state ~close_time:v.Value.close_time
+          txs
+      in
       let state' = Value.apply_upgrades state' v.Value.upgrades in
       (* fold this ledger's changes into the bucket list *)
       let state', dirty = State.take_dirty state' in
@@ -147,7 +158,7 @@ let rec close_ledger t slot (v : Value.t) =
           (fun key -> { Stellar_bucket.Bucket.key; entry = State.lookup state' key })
           dirty
       in
-      let buckets' = Stellar_bucket.Bucket_list.add_batch t.buckets batch in
+      let buckets' = Stellar_bucket.Bucket_list.add_batch ~obs:t.obs t.buckets batch in
       let header =
         Header.make
           ~prev:(last_header t)
@@ -157,11 +168,21 @@ let rec close_ledger t slot (v : Value.t) =
           ~state:state'
       in
       let apply_s = Sys.time () -. cpu0 in
+      if Stellar_obs.Sink.enabled t.obs then begin
+        Stellar_obs.Sink.emit t.obs
+          (Stellar_obs.Event.Apply_end
+             { slot; txs = Tx_set.tx_count ts; ops = Tx_set.op_count ts });
+        Stellar_obs.Sink.observe t.obs "ledger.apply_ms" (apply_s *. 1000.0);
+        Stellar_obs.Sink.incr t.obs "ledger.closed"
+      end;
       t.state <- state';
       t.buckets <- buckets';
       t.headers <- header :: t.headers;
       Tx_queue.remove_applied t.queue txs;
       ignore (Tx_queue.purge_invalid t.queue ~state:t.state);
+      if Stellar_obs.Sink.enabled t.obs then
+        Stellar_obs.Sink.set_gauge t.obs "herder.queue.size"
+          (float_of_int (Tx_queue.size t.queue));
       Scp.Protocol.purge_slots t.scp ~below:(slot - 32);
       (* stats *)
       let tm = timing t slot in
@@ -221,7 +242,7 @@ and trigger_next_ledger t =
 
 (* ---- construction ---- *)
 
-let create config cb ~genesis ?buckets ?(headers = []) () =
+let create config cb ~genesis ?buckets ?(headers = []) ?(obs = Stellar_obs.Sink.null) () =
   let secret, id = Stellar_crypto.Sim_sig.keypair ~seed:config.seed in
   let rec t =
     lazy
@@ -244,14 +265,22 @@ let create config cb ~genesis ?buckets ?(headers = []) () =
                    h.pending_apply <- (slot, v) :: h.pending_apply
              | None -> ())
            ~schedule:(fun ~delay f -> cb.schedule ~delay f)
+           ~obs
            ~hooks:
              {
                Scp.Driver.on_nomination_round = (fun ~slot:_ ~round:_ -> ());
                on_ballot_bump =
-                 (fun ~slot ~counter:_ ->
+                 (fun ~slot ~counter ->
                    let h = Lazy.force t in
                    let tm = timing h slot in
-                   if tm.t_first_ballot = None then tm.t_first_ballot <- Some (cb.now ()));
+                   if tm.t_first_ballot = None then begin
+                     tm.t_first_ballot <- Some (cb.now ());
+                     (* the nomination → balloting boundary of the phase
+                        breakdown (Report.slot_phases) *)
+                     if Stellar_obs.Sink.enabled obs then
+                       Stellar_obs.Sink.emit obs
+                         (Stellar_obs.Event.First_vote { slot; counter })
+                   end);
                on_timeout = (fun ~slot:_ ~kind -> cb.on_timeout ~kind);
                on_phase_change = (fun ~slot:_ ~phase:_ -> ());
              }
@@ -260,6 +289,7 @@ let create config cb ~genesis ?buckets ?(headers = []) () =
        {
          config;
          cb;
+         obs;
          secret;
          id;
          scp = Scp.Protocol.create ~driver ~local_id:id ~qset:config.qset;

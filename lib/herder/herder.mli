@@ -50,12 +50,17 @@ val create :
   genesis:Stellar_ledger.State.t ->
   ?buckets:Stellar_bucket.Bucket_list.t ->
   ?headers:Stellar_ledger.Header.t list ->
+  ?obs:Stellar_obs.Sink.t ->
   unit ->
   t
 (** [buckets] lets many simulated validators share one precomputed bucket
     list for the same genesis instead of re-hashing it per node.
     [headers] (most recent first) seeds the header chain when bootstrapping
-    from an archive checkpoint rather than from ledger 1 (§5.4). *)
+    from an archive checkpoint rather than from ledger 1 (§5.4).
+    [obs] (default disabled) instruments the whole close path: it is handed
+    to the SCP driver, ledger apply and bucket merges, and the herder itself
+    emits [First_vote]/[Apply_begin]/[Apply_end] events plus the
+    [ledger.apply_ms] CPU histogram and [herder.queue.size] gauge. *)
 
 val node_id : t -> Scp.Types.node_id
 val state : t -> Stellar_ledger.State.t

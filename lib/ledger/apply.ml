@@ -663,7 +663,19 @@ let apply_tx ctx state signed =
       (* Atomicity: roll back to the post-fee state on any failure. *)
       (match outcome with Tx_success _ -> (applied, outcome) | _ -> (fee_state, outcome))
 
-let apply_tx_set ctx state ~close_time txs =
+let outcome_metric = function
+  | Tx_success _ -> "ledger.tx.success"
+  | Tx_failed _ -> "ledger.tx.failed"
+  | Tx_no_source -> "ledger.tx.no_source"
+  | Tx_bad_seq -> "ledger.tx.bad_seq"
+  | Tx_bad_auth -> "ledger.tx.bad_auth"
+  | Tx_insufficient_fee -> "ledger.tx.insufficient_fee"
+  | Tx_insufficient_balance -> "ledger.tx.insufficient_balance"
+  | Tx_too_early -> "ledger.tx.too_early"
+  | Tx_too_late -> "ledger.tx.too_late"
+  | Tx_malformed -> "ledger.tx.malformed"
+
+let apply_tx_set ?(obs = Stellar_obs.Sink.null) ctx state ~close_time txs =
   let state =
     State.set_header state ~ledger_seq:(State.ledger_seq state + 1) ~close_time
   in
@@ -713,6 +725,12 @@ let apply_tx_set ctx state ~close_time txs =
     List.fold_left
       (fun (state, acc) signed ->
         let state, outcome = apply_tx ctx state signed in
+        if Stellar_obs.Sink.enabled obs then begin
+          Stellar_obs.Sink.incr obs (outcome_metric outcome);
+          match outcome with
+          | Tx_success rs -> Stellar_obs.Sink.add obs "ledger.ops.applied" (List.length rs)
+          | _ -> ()
+        end;
         (state, (signed, outcome) :: acc))
       (state, []) sorted
   in

@@ -57,6 +57,14 @@ val apply_tx : ctx -> State.t -> Tx.signed -> State.t * tx_outcome
 (** Validate, charge fee + sequence, then run operations atomically. *)
 
 val apply_tx_set :
-  ctx -> State.t -> close_time:int -> Tx.signed list -> State.t * (Tx.signed * tx_outcome) list
+  ?obs:Stellar_obs.Sink.t ->
+  ctx ->
+  State.t ->
+  close_time:int ->
+  Tx.signed list ->
+  State.t * (Tx.signed * tx_outcome) list
 (** Close one ledger: set header fields, charge all fees up front, then
-    apply in deterministic (hash-shuffled) order, as stellar-core does. *)
+    apply in deterministic (hash-shuffled) order, as stellar-core does.
+    An enabled [obs] sink counts per-outcome transactions
+    ([ledger.tx.success], [ledger.tx.bad_seq], ...) and applied operations
+    ([ledger.ops.applied]). *)

@@ -25,3 +25,8 @@ let decode s = Xdr.decode xdr s
 let size m = Xdr.encoded_length xdr m
 
 let dedup_key m = Stellar_crypto.Sha256.digest (encode m)
+
+let kind_name = function
+  | Envelope _ -> "envelope"
+  | Tx_set_msg _ -> "txset"
+  | Tx_msg _ -> "tx"

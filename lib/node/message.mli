@@ -21,3 +21,6 @@ val size : t -> int
 
 val dedup_key : t -> string
 (** Hash used by flood deduplication: SHA-256 over {!encode}. *)
+
+val kind_name : t -> string
+(** Short stable label ("envelope" | "txset" | "tx") for trace events. *)

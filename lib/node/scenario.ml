@@ -11,6 +11,7 @@ type params = {
   ledger_interval : float;
   max_ops_per_ledger : int;
   warmup_ledgers : int;
+  observe : bool;
 }
 
 let default ~spec =
@@ -25,6 +26,7 @@ let default ~spec =
     ledger_interval = 5.0;
     max_ops_per_ledger = 10_000;
     warmup_ledgers = 2;
+    observe = false;
   }
 
 type report = {
@@ -48,6 +50,7 @@ type report = {
   diverged : bool;
   wall_seconds : float;
   final_ledger_seq : int;
+  telemetry : Stellar_obs.Collector.t option;
 }
 
 let scheme =
@@ -57,9 +60,27 @@ let run p =
   let wall0 = Unix.gettimeofday () in
   let engine = Stellar_sim.Engine.create () in
   let rng = Stellar_sim.Rng.create ~seed:p.seed in
+  let telemetry =
+    if p.observe then begin
+      let c =
+        Stellar_obs.Collector.create ~n:p.spec.Topology.n_nodes
+          ~now:(fun () -> Stellar_sim.Engine.now engine)
+      in
+      Stellar_sim.Engine.set_obs engine (Stellar_obs.Collector.sim_sink c);
+      Some c
+    end
+    else None
+  in
+  let obs_sink i =
+    match telemetry with
+    | Some c -> Stellar_obs.Collector.sink c i
+    | None -> Stellar_obs.Sink.null
+  in
   let network =
     Stellar_sim.Network.create ~engine ~rng ~n:p.spec.Topology.n_nodes ~latency:p.latency
-      ~processing:p.processing ()
+      ~processing:p.processing
+      ?obs:(Option.map (fun c -> Stellar_obs.Collector.sink c) telemetry)
+      ()
   in
   let genesis, accounts = Genesis.make ~n_accounts:p.n_accounts () in
   let shared_buckets = Stellar_bucket.Bucket_list.of_state genesis in
@@ -97,7 +118,8 @@ let run p =
           else fun ~kind:_ -> ()
         in
         Validator.create ~network ~index:i ~peers:(p.spec.Topology.peers_of i) ~config
-          ~genesis ~buckets:shared_buckets ~on_ledger_closed ~on_timeout ())
+          ~genesis ~buckets:shared_buckets ~on_ledger_closed ~on_timeout ~obs:(obs_sink i)
+          ())
   in
   Array.iter Validator.start validators;
   (* ---- load generation: Poisson arrivals of single-payment txs ---- *)
@@ -227,6 +249,7 @@ let run p =
     diverged;
     wall_seconds = Unix.gettimeofday () -. wall0;
     final_ledger_seq = Stellar_herder.Herder.ledger_seq (Validator.herder validators.(0));
+    telemetry;
   }
 
 let pp_report fmt r =

@@ -20,6 +20,10 @@ type params = {
   ledger_interval : float;
   max_ops_per_ledger : int;
   warmup_ledgers : int;  (** ledgers excluded from the stats *)
+  observe : bool;
+      (** collect a structured trace and per-node metric registries
+          ({!report.telemetry}); default off — instrumentation then costs
+          one branch per site *)
 }
 
 val default : spec:Topology.spec -> params
@@ -45,6 +49,8 @@ type report = {
   diverged : bool;  (** any two validators on different header chains *)
   wall_seconds : float;  (** real time the simulation took *)
   final_ledger_seq : int;
+  telemetry : Stellar_obs.Collector.t option;
+      (** the run's trace + registries when [observe] was set *)
 }
 
 val run : params -> report

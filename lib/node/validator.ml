@@ -1,8 +1,11 @@
+module Obs = Stellar_obs
+
 type t = {
   network : Message.t Stellar_sim.Network.t;
   index : int;
   peers : int list;
   herder : Stellar_herder.Herder.t;
+  obs : Obs.Sink.t;
   seen : (string, unit) Hashtbl.t;
   helped : (int * int, unit) Hashtbl.t;  (* (peer, slot) straggler replies sent *)
   mutable floods_seen : int;
@@ -16,6 +19,19 @@ let node_id t = Stellar_herder.Herder.node_id t.herder
 let floods_seen t = t.floods_seen
 let floods_forwarded t = t.floods_forwarded
 let own_envelopes t = t.own_envelopes
+let helped_size t = Hashtbl.length t.helped
+
+(* The straggler-reply memo only has to suppress duplicate help within the
+   life of a slot: once slot [upto] is externalized locally, memos for it and
+   everything older can go, keeping the table bounded over long runs. *)
+let prune_helped t ~upto =
+  let stale =
+    Hashtbl.fold (fun ((_, slot) as k) () acc -> if slot <= upto then k :: acc else acc)
+      t.helped []
+  in
+  List.iter (Hashtbl.remove t.helped) stale;
+  if Obs.Sink.enabled t.obs then
+    Obs.Sink.set_gauge t.obs "validator.helped.size" (float_of_int (Hashtbl.length t.helped))
 
 (* [force] lets a node re-broadcast its own identical message (a straggler
    re-announcing its last statement must not be silenced by its own dedup
@@ -28,13 +44,20 @@ let flood t ?except ?(force = false) msg =
   if force || not (Hashtbl.mem t.seen key) then begin
     Hashtbl.replace t.seen key ();
     let size = String.length encoded in
+    let fanout = ref 0 in
     List.iter
       (fun peer ->
         if Some peer <> except && peer <> t.index then begin
+          incr fanout;
           t.floods_forwarded <- t.floods_forwarded + 1;
           Stellar_sim.Network.send t.network ~src:t.index ~dst:peer ~size msg
         end)
-      t.peers
+      t.peers;
+    if Obs.Sink.enabled t.obs then begin
+      Obs.Sink.add t.obs "flood.forwarded" !fanout;
+      Obs.Sink.emit t.obs
+        (Obs.Event.Flood_send { kind = Message.kind_name msg; bytes = size; fanout = !fanout })
+    end
   end
 
 (* A peer still voting on a slot we already closed gets our retained
@@ -52,6 +75,7 @@ let maybe_help_straggler t ~src env =
     && not (Hashtbl.mem t.helped (src, slot))
   then begin
     Hashtbl.replace t.helped (src, slot) ();
+    Obs.Sink.incr t.obs "flood.straggler_helped";
     let envs, tx_sets = Stellar_herder.Herder.help_straggler t.herder ~slot in
     List.iter
       (fun ts ->
@@ -69,6 +93,12 @@ let handle t ~src msg =
   t.floods_seen <- t.floods_seen + 1;
   let key = Message.dedup_key msg in
   if not (Hashtbl.mem t.seen key) then begin
+    if Obs.Sink.enabled t.obs then begin
+      Obs.Sink.incr t.obs "flood.unique";
+      Obs.Sink.emit t.obs
+        (Obs.Event.Flood_recv
+           { kind = Message.kind_name msg; bytes = Message.size msg; src })
+    end;
     (* process locally, then forward to our peers (flood with dedup) *)
     (match msg with
     | Message.Envelope env ->
@@ -78,9 +108,14 @@ let handle t ~src msg =
     | Message.Tx_msg signed -> ignore (Stellar_herder.Herder.receive_tx t.herder signed));
     flood t ~except:src msg
   end
+  else if Obs.Sink.enabled t.obs then begin
+    Obs.Sink.incr t.obs "flood.dup_dropped";
+    Obs.Sink.emit t.obs (Obs.Event.Dedup_drop { kind = Message.kind_name msg; src })
+  end
 
 let create ~network ~index ~peers ~config ~genesis ?buckets ?headers
-    ?(on_ledger_closed = fun _ -> ()) ?(on_timeout = fun ~kind:_ -> ()) () =
+    ?(on_ledger_closed = fun _ -> ()) ?(on_timeout = fun ~kind:_ -> ())
+    ?(obs = Obs.Sink.null) () =
   let engine = Stellar_sim.Network.engine network in
   let rec t =
     lazy
@@ -91,6 +126,7 @@ let create ~network ~index ~peers ~config ~genesis ?buckets ?headers
                (fun env ->
                  let v = Lazy.force t in
                  v.own_envelopes <- v.own_envelopes + 1;
+                 Obs.Sink.incr v.obs "flood.own_envelopes";
                  flood v ~force:true (Message.Envelope env));
              broadcast_tx_set = (fun ts -> flood (Lazy.force t) (Message.Tx_set_msg ts));
              broadcast_tx = (fun signed -> flood (Lazy.force t) (Message.Tx_msg signed));
@@ -99,7 +135,11 @@ let create ~network ~index ~peers ~config ~genesis ?buckets ?headers
                  let timer = Stellar_sim.Engine.schedule engine ~delay f in
                  fun () -> Stellar_sim.Engine.cancel timer);
              now = (fun () -> Stellar_sim.Engine.now engine);
-             on_ledger_closed;
+             on_ledger_closed =
+               (fun stats ->
+                 let v = Lazy.force t in
+                 prune_helped v ~upto:stats.Stellar_herder.Herder.seq;
+                 on_ledger_closed stats);
              on_timeout;
            }
        in
@@ -107,7 +147,8 @@ let create ~network ~index ~peers ~config ~genesis ?buckets ?headers
          network;
          index;
          peers;
-         herder = Stellar_herder.Herder.create config cb ~genesis ?buckets ?headers ();
+         herder = Stellar_herder.Herder.create config cb ~genesis ?buckets ?headers ~obs ();
+         obs;
          seen = Hashtbl.create 1024;
          helped = Hashtbl.create 64;
          floods_seen = 0;

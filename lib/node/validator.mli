@@ -14,8 +14,12 @@ val create :
   ?headers:Stellar_ledger.Header.t list ->
   ?on_ledger_closed:(Stellar_herder.Herder.ledger_stats -> unit) ->
   ?on_timeout:(kind:[ `Nomination | `Ballot ] -> unit) ->
+  ?obs:Stellar_obs.Sink.t ->
   unit ->
   t
+(** [obs] (default disabled) instruments the flood path — [Flood_send],
+    [Flood_recv] and [Dedup_drop] events plus [flood.*] counters — and is
+    passed down to the herder/SCP/ledger stack. *)
 
 val index : t -> int
 val herder : t -> Stellar_herder.Herder.t
@@ -32,3 +36,9 @@ val floods_forwarded : t -> int
 val own_envelopes : t -> int
 (** SCP envelopes this validator itself emitted (the paper's 6-7 logical
     messages per ledger, §7.2). *)
+
+val helped_size : t -> int
+(** Entries in the (peer, slot) straggler-reply memo table.  The table is
+    pruned whenever a ledger closes (memos for externalized slots are
+    dropped), so it stays bounded over long simulations; its size is also
+    exported as the [validator.helped.size] gauge. *)

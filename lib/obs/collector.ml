@@ -1,0 +1,30 @@
+type t = {
+  trace : Trace.t;
+  node_registries : Registry.t array;
+  sim_registry : Registry.t;
+  sinks : Sink.t array;
+  sim_sink : Sink.t;
+}
+
+let create ~n ~now =
+  let trace = Trace.create () in
+  let node_registries = Array.init n (fun _ -> Registry.create ()) in
+  let sim_registry = Registry.create () in
+  {
+    trace;
+    node_registries;
+    sim_registry;
+    sinks =
+      Array.init n (fun node -> Sink.make ~trace ~node ~now node_registries.(node));
+    sim_sink = Sink.make ~node:(-1) ~now sim_registry;
+  }
+
+let trace t = t.trace
+let n_nodes t = Array.length t.sinks
+let sink t i = t.sinks.(i)
+let sim_sink t = t.sim_sink
+let registry t i = t.node_registries.(i)
+let sim_registry t = t.sim_registry
+
+let aggregate t =
+  Registry.merge (t.sim_registry :: Array.to_list t.node_registries)

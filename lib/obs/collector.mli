@@ -1,0 +1,20 @@
+(** One observed run: a shared trace, one registry per node, and a separate
+    registry for the simulation engine itself.  Hand [sink t i] to node [i]'s
+    validator/network slot and {!sim_sink} to the engine. *)
+
+type t
+
+val create : n:int -> now:(unit -> float) -> t
+(** [now] is the simulated clock (e.g. [fun () -> Engine.now engine]). *)
+
+val trace : t -> Trace.t
+val n_nodes : t -> int
+
+val sink : t -> int -> Sink.t
+val sim_sink : t -> Sink.t
+
+val registry : t -> int -> Registry.t
+val sim_registry : t -> Registry.t
+
+val aggregate : t -> Registry.t
+(** All node registries plus the sim registry merged into one. *)

@@ -1,0 +1,61 @@
+type timeout_kind = [ `Nomination | `Ballot ]
+
+type t =
+  | Nominate_start of { slot : int }
+  | Nomination_round of { slot : int; round : int }
+  | First_vote of { slot : int; counter : int }
+  | Ballot_bump of { slot : int; counter : int }
+  | Confirm_prepare of { slot : int }
+  | Externalize of { slot : int }
+  | Timeout_fired of { slot : int; kind : timeout_kind }
+  | Flood_send of { kind : string; bytes : int; fanout : int }
+  | Flood_recv of { kind : string; bytes : int; src : int }
+  | Dedup_drop of { kind : string; src : int }
+  | Apply_begin of { slot : int; txs : int; ops : int }
+  | Apply_end of { slot : int; txs : int; ops : int }
+  | Bucket_merge of { level : int; entries : int }
+  | Span_begin of { name : string; slot : int }
+  | Span_end of { name : string; slot : int; dur_s : float }
+
+let name = function
+  | Nominate_start _ -> "nominate.start"
+  | Nomination_round _ -> "nomination.round"
+  | First_vote _ -> "ballot.first"
+  | Ballot_bump _ -> "ballot.bump"
+  | Confirm_prepare _ -> "phase.confirm"
+  | Externalize _ -> "phase.externalize"
+  | Timeout_fired _ -> "timeout"
+  | Flood_send _ -> "flood.send"
+  | Flood_recv _ -> "flood.recv"
+  | Dedup_drop _ -> "flood.dup"
+  | Apply_begin _ -> "apply.begin"
+  | Apply_end _ -> "apply.end"
+  | Bucket_merge _ -> "bucket.merge"
+  | Span_begin _ -> "span.begin"
+  | Span_end _ -> "span.end"
+
+let timeout_kind_name = function `Nomination -> "nomination" | `Ballot -> "ballot"
+
+(* Payload as a JSON fragment (comma-prefixed key/values, no braces).  All
+   float formatting is fixed-width so traces are byte-identical across runs
+   with the same seed. *)
+let fields = function
+  | Nominate_start { slot } -> Printf.sprintf {|,"slot":%d|} slot
+  | Nomination_round { slot; round } -> Printf.sprintf {|,"slot":%d,"round":%d|} slot round
+  | First_vote { slot; counter } | Ballot_bump { slot; counter } ->
+      Printf.sprintf {|,"slot":%d,"counter":%d|} slot counter
+  | Confirm_prepare { slot } | Externalize { slot } -> Printf.sprintf {|,"slot":%d|} slot
+  | Timeout_fired { slot; kind } ->
+      Printf.sprintf {|,"slot":%d,"kind":"%s"|} slot (timeout_kind_name kind)
+  | Flood_send { kind; bytes; fanout } ->
+      Printf.sprintf {|,"kind":"%s","bytes":%d,"fanout":%d|} kind bytes fanout
+  | Flood_recv { kind; bytes; src } ->
+      Printf.sprintf {|,"kind":"%s","bytes":%d,"src":%d|} kind bytes src
+  | Dedup_drop { kind; src } -> Printf.sprintf {|,"kind":"%s","src":%d|} kind src
+  | Apply_begin { slot; txs; ops } | Apply_end { slot; txs; ops } ->
+      Printf.sprintf {|,"slot":%d,"txs":%d,"ops":%d|} slot txs ops
+  | Bucket_merge { level; entries } ->
+      Printf.sprintf {|,"level":%d,"entries":%d|} level entries
+  | Span_begin { name; slot } -> Printf.sprintf {|,"name":"%s","slot":%d|} name slot
+  | Span_end { name; slot; dur_s } ->
+      Printf.sprintf {|,"name":"%s","slot":%d,"dur_s":%.6f|} name slot dur_s

@@ -1,0 +1,38 @@
+(** The trace event taxonomy: everything the experiments of §7 need to
+    observe about a running validator, as typed constructors rather than log
+    strings.  Events are stamped with simulated time and node id by
+    {!Trace.record} (via {!Sink.emit}); the payload here is only the
+    protocol-level fact. *)
+
+type timeout_kind = [ `Nomination | `Ballot ]
+
+type t =
+  | Nominate_start of { slot : int }  (** herder triggered nomination *)
+  | Nomination_round of { slot : int; round : int }
+  | First_vote of { slot : int; counter : int }
+      (** first ballot vote for the slot: the nomination → balloting
+          boundary used by the Fig.-style phase breakdown *)
+  | Ballot_bump of { slot : int; counter : int }
+  | Confirm_prepare of { slot : int }  (** ballot protocol entered confirm *)
+  | Externalize of { slot : int }
+  | Timeout_fired of { slot : int; kind : timeout_kind }
+  | Flood_send of { kind : string; bytes : int; fanout : int }
+      (** one flood decision: [fanout] peer copies of a [bytes]-sized msg *)
+  | Flood_recv of { kind : string; bytes : int; src : int }
+      (** first delivery of a payload to this node *)
+  | Dedup_drop of { kind : string; src : int }
+      (** duplicate delivery suppressed by the flood dedup table *)
+  | Apply_begin of { slot : int; txs : int; ops : int }
+  | Apply_end of { slot : int; txs : int; ops : int }
+  | Bucket_merge of { level : int; entries : int }
+      (** a bucket-list level absorbed a batch/spill of [entries] entries *)
+  | Span_begin of { name : string; slot : int }
+  | Span_end of { name : string; slot : int; dur_s : float }
+
+val name : t -> string
+(** Stable dotted event name ("flood.send", "phase.externalize", ...). *)
+
+val timeout_kind_name : timeout_kind -> string
+
+val fields : t -> string
+(** Payload as a comma-prefixed JSON fragment; deterministic formatting. *)

@@ -1,0 +1,198 @@
+type phases = {
+  slot : int;
+  nomination_s : float;
+  ballot_s : float;
+  apply_s : float;
+  total_s : float;
+}
+
+(* Deterministic model of tx-set application cost, used for the phase
+   breakdown so that trace-derived reports are reproducible bit-for-bit
+   (real CPU time is not).  Calibrated to the measured in-memory apply
+   times: ~0.2 ms fixed + ~20 us per operation.  Real CPU time still flows
+   into the "ledger.apply_ms" histogram via the herder. *)
+let default_apply_cost ~txs:_ ~ops = 0.0002 +. (2.0e-5 *. float_of_int ops)
+
+type slot_acc = {
+  mutable t_nominate : float option;
+  mutable t_first_vote : float option;
+  mutable t_externalize : float option;
+  mutable apply : (int * int) option;  (* txs, ops *)
+}
+
+let slot_phases ?(node = 0) ?(apply_cost = default_apply_cost) trace =
+  let acc : (int, slot_acc) Hashtbl.t = Hashtbl.create 64 in
+  let get slot =
+    match Hashtbl.find_opt acc slot with
+    | Some a -> a
+    | None ->
+        let a =
+          { t_nominate = None; t_first_vote = None; t_externalize = None; apply = None }
+        in
+        Hashtbl.add acc slot a;
+        a
+  in
+  Trace.iter trace (fun s ->
+      if s.Trace.node = node then
+        match s.Trace.event with
+        | Event.Nominate_start { slot } ->
+            let a = get slot in
+            if a.t_nominate = None then a.t_nominate <- Some s.Trace.time
+        | Event.First_vote { slot; _ } ->
+            let a = get slot in
+            if a.t_first_vote = None then a.t_first_vote <- Some s.Trace.time
+        | Event.Externalize { slot } ->
+            let a = get slot in
+            if a.t_externalize = None then a.t_externalize <- Some s.Trace.time
+        | Event.Apply_begin { slot; txs; ops } ->
+            let a = get slot in
+            if a.apply = None then a.apply <- Some (txs, ops)
+        | _ -> ());
+  Hashtbl.fold (fun slot a l -> (slot, a) :: l) acc []
+  |> List.filter_map (fun (slot, a) ->
+         match (a.t_nominate, a.t_externalize) with
+         | Some t0, Some t2 ->
+             let t1 = Option.value ~default:t2 a.t_first_vote in
+             let txs, ops = Option.value ~default:(0, 0) a.apply in
+             let apply_s = apply_cost ~txs ~ops in
+             Some
+               {
+                 slot;
+                 nomination_s = Float.max 0.0 (t1 -. t0);
+                 ballot_s = Float.max 0.0 (t2 -. t1);
+                 apply_s;
+                 total_s = Float.max 0.0 (t2 -. t0) +. apply_s;
+               }
+         | _ -> None)
+  |> List.sort (fun a b -> Int.compare a.slot b.slot)
+
+(* Exact nearest-rank percentile, same convention as
+   [Stellar_node.Metrics.percentile]. *)
+let percentile values q =
+  match values with
+  | [] -> 0.0
+  | _ ->
+      let arr = Array.of_list values in
+      Array.sort Float.compare arr;
+      let n = Array.length arr in
+      let idx = int_of_float (q *. float_of_int (n - 1)) in
+      arr.(max 0 (min (n - 1) idx))
+
+type quantiles = { n : int; mean : float; p50 : float; p99 : float; max : float }
+
+let quantiles values =
+  match values with
+  | [] -> { n = 0; mean = 0.0; p50 = 0.0; p99 = 0.0; max = 0.0 }
+  | _ ->
+      let n = List.length values in
+      let sum = List.fold_left ( +. ) 0.0 values in
+      {
+        n;
+        mean = sum /. float_of_int n;
+        p50 = percentile values 0.50;
+        p99 = percentile values 0.99;
+        max = List.fold_left Float.max neg_infinity values;
+      }
+
+type breakdown = {
+  n_slots : int;
+  nomination : quantiles;
+  ballot : quantiles;
+  apply : quantiles;
+  total : quantiles;
+}
+
+let breakdown ?node ?apply_cost trace =
+  let ph = slot_phases ?node ?apply_cost trace in
+  let f sel = quantiles (List.map sel ph) in
+  {
+    n_slots = List.length ph;
+    nomination = f (fun p -> p.nomination_s);
+    ballot = f (fun p -> p.ballot_s);
+    apply = f (fun p -> p.apply_s);
+    total = f (fun p -> p.total_s);
+  }
+
+(* ---- flood amplification (per node) ---- *)
+
+type flood = { sent_copies : int; received : int; dup_dropped : int; amplification : float }
+
+let flood_stats trace =
+  let acc : (int, int * int * int) Hashtbl.t = Hashtbl.create 64 in
+  let bump node f =
+    let cur = Option.value ~default:(0, 0, 0) (Hashtbl.find_opt acc node) in
+    Hashtbl.replace acc node (f cur)
+  in
+  Trace.iter trace (fun s ->
+      match s.Trace.event with
+      | Event.Flood_send { fanout; _ } ->
+          bump s.Trace.node (fun (a, b, c) -> (a + fanout, b, c))
+      | Event.Flood_recv _ -> bump s.Trace.node (fun (a, b, c) -> (a, b + 1, c))
+      | Event.Dedup_drop _ -> bump s.Trace.node (fun (a, b, c) -> (a, b, c + 1))
+      | _ -> ());
+  Hashtbl.fold
+    (fun node (sent_copies, received, dup_dropped) l ->
+      let amplification =
+        float_of_int (received + dup_dropped) /. float_of_int (max 1 received)
+      in
+      (node, { sent_copies; received; dup_dropped; amplification }) :: l)
+    acc []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* ---- span pairing (handles nesting via a per-key stack) ---- *)
+
+let spans trace =
+  let stacks : (int * string * int, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  Trace.iter trace (fun s ->
+      match s.Trace.event with
+      | Event.Span_begin { name; slot } ->
+          let key = (s.Trace.node, name, slot) in
+          let st =
+            match Hashtbl.find_opt stacks key with
+            | Some st -> st
+            | None ->
+                let st = ref [] in
+                Hashtbl.add stacks key st;
+                st
+          in
+          st := s.Trace.time :: !st
+      | Event.Span_end { name; slot; _ } -> (
+          let key = (s.Trace.node, name, slot) in
+          match Hashtbl.find_opt stacks key with
+          | Some ({ contents = t0 :: rest } as st) ->
+              st := rest;
+              out := (s.Trace.node, name, slot, t0, s.Trace.time) :: !out
+          | _ -> ())
+      | _ -> ());
+  List.rev !out
+
+(* ---- JSON fragments (deterministic formatting) ---- *)
+
+let ms s = s *. 1000.0
+
+let quantiles_json q =
+  Printf.sprintf {|{"n":%d,"mean_ms":%.6f,"p50_ms":%.6f,"p99_ms":%.6f,"max_ms":%.6f}|}
+    q.n (ms q.mean) (ms q.p50) (ms q.p99) (ms q.max)
+
+let breakdown_json b =
+  Printf.sprintf
+    {|{"slots":%d,"nomination":%s,"ballot":%s,"apply":%s,"total":%s}|}
+    b.n_slots (quantiles_json b.nomination) (quantiles_json b.ballot)
+    (quantiles_json b.apply) (quantiles_json b.total)
+
+let phases_json ph =
+  let one p =
+    Printf.sprintf
+      {|{"slot":%d,"nomination_ms":%.6f,"ballot_ms":%.6f,"apply_ms":%.6f,"total_ms":%.6f}|}
+      p.slot (ms p.nomination_s) (ms p.ballot_s) (ms p.apply_s) (ms p.total_s)
+  in
+  "[" ^ String.concat "," (List.map one ph) ^ "]"
+
+let flood_json fl =
+  let one (node, f) =
+    Printf.sprintf
+      {|{"node":%d,"sent_copies":%d,"received":%d,"dup_dropped":%d,"amplification":%.6f}|}
+      node f.sent_copies f.received f.dup_dropped f.amplification
+  in
+  "[" ^ String.concat "," (List.map one fl) ^ "]"

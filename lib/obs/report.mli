@@ -1,0 +1,64 @@
+(** Turn a {!Trace.t} into the paper's evaluation artifacts: the per-slot
+    ledger-close phase breakdown (nomination vs. balloting vs. apply, §7.3)
+    and per-node flood amplification (§7.2).
+
+    Everything here is derived from simulated-time stamps and event payloads
+    only, so reports are deterministic for a fixed simulation seed. *)
+
+type phases = {
+  slot : int;
+  nomination_s : float;  (** nominate-start → first ballot vote *)
+  ballot_s : float;  (** first ballot vote → externalize *)
+  apply_s : float;  (** modeled apply cost (see {!default_apply_cost}) *)
+  total_s : float;
+}
+
+val default_apply_cost : txs:int -> ops:int -> float
+(** Deterministic apply-cost model (~0.2 ms + 20 µs/op) used in place of
+    measured CPU time so the breakdown is reproducible; real CPU time is
+    reported separately through the "ledger.apply_ms" histogram. *)
+
+val slot_phases :
+  ?node:int -> ?apply_cost:(txs:int -> ops:int -> float) -> Trace.t -> phases list
+(** Phase durations for every slot [node] (default 0) both nominated and
+    externalized, sorted by slot. *)
+
+val percentile : float list -> float -> float
+(** Exact nearest-rank percentile (same convention as
+    [Stellar_node.Metrics.percentile]). *)
+
+type quantiles = { n : int; mean : float; p50 : float; p99 : float; max : float }
+
+val quantiles : float list -> quantiles
+
+type breakdown = {
+  n_slots : int;
+  nomination : quantiles;
+  ballot : quantiles;
+  apply : quantiles;
+  total : quantiles;
+}
+
+val breakdown :
+  ?node:int -> ?apply_cost:(txs:int -> ops:int -> float) -> Trace.t -> breakdown
+
+type flood = {
+  sent_copies : int;  (** per-peer copies pushed (sum of flood fanouts) *)
+  received : int;  (** distinct payloads delivered *)
+  dup_dropped : int;  (** duplicate deliveries suppressed *)
+  amplification : float;  (** (received + dup_dropped) / received *)
+}
+
+val flood_stats : Trace.t -> (int * flood) list
+(** Per node id, sorted. *)
+
+val spans : Trace.t -> (int * string * int * float * float) list
+(** Paired [Span_begin]/[Span_end] as (node, name, slot, t0, t1), in
+    completion order; nested same-key spans pair LIFO. *)
+
+(** JSON fragments with deterministic formatting (durations in ms). *)
+
+val quantiles_json : quantiles -> string
+val breakdown_json : breakdown -> string
+val phases_json : phases list -> string
+val flood_json : (int * flood) list -> string

@@ -1,0 +1,29 @@
+type stamped = { seq : int; time : float; node : int; event : Event.t }
+
+type t = { mutable rev_events : stamped list; mutable n : int }
+
+let create () = { rev_events = []; n = 0 }
+
+let record t ~time ~node event =
+  t.rev_events <- { seq = t.n; time; node; event } :: t.rev_events;
+  t.n <- t.n + 1
+
+let length t = t.n
+let events t = List.rev t.rev_events
+let iter t f = List.iter f (events t)
+
+let line s =
+  Printf.sprintf {|{"seq":%d,"t":%.6f,"node":%d,"ev":"%s"%s}|} s.seq s.time s.node
+    (Event.name s.event) (Event.fields s.event)
+
+let to_jsonl t =
+  let buf = Buffer.create (t.n * 64) in
+  iter t (fun s ->
+      Buffer.add_string buf (line s);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let output_jsonl oc t =
+  iter t (fun s ->
+      output_string oc (line s);
+      output_char oc '\n')

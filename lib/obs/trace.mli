@@ -1,0 +1,26 @@
+(** Structured trace: an append-only sequence of typed {!Event.t}s stamped
+    with simulated time, node id and a global sequence number.
+
+    Because the simulator is deterministic, two runs with the same seed
+    produce byte-identical {!to_jsonl} output — the property the
+    reproducibility tests and [BENCH_phases.json] rely on. *)
+
+type stamped = { seq : int; time : float; node : int; event : Event.t }
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:float -> node:int -> Event.t -> unit
+
+val length : t -> int
+
+val events : t -> stamped list
+(** In record order (chronological: the engine fires events in time order). *)
+
+val iter : t -> (stamped -> unit) -> unit
+
+val to_jsonl : t -> string
+(** One JSON object per line: [{"seq":..,"t":..,"node":..,"ev":"...",...}]. *)
+
+val output_jsonl : out_channel -> t -> unit

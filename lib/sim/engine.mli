@@ -12,6 +12,11 @@ type timer
 
 val create : unit -> t
 
+val set_obs : t -> Stellar_obs.Sink.t -> unit
+(** Attach an observability sink (set after creation because sinks usually
+    need this engine's clock).  An enabled sink counts [sim.events.fired] /
+    [sim.events.cancelled] and tracks the [sim.queue.pending] gauge. *)
+
 val now : t -> float
 (** Current virtual time in seconds. *)
 

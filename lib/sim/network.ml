@@ -1,8 +1,22 @@
+module Obs = Stellar_obs
+
 type stats = {
-  mutable msgs_sent : int;
-  mutable msgs_received : int;
-  mutable bytes_sent : int;
-  mutable bytes_received : int;
+  msgs_sent : int;
+  msgs_received : int;
+  bytes_sent : int;
+  bytes_received : int;
+}
+
+(* Per-node accounting lives in a Stellar_obs registry ("overlay.*" names)
+   so network traffic and protocol metrics share one namespace; the [stats]
+   accessor below is a thin snapshot over it.  Counter handles are cached so
+   the send path touches a record field, not a hash table. *)
+type node_obs = {
+  sink : Obs.Sink.t;
+  c_msgs_sent : Obs.Registry.counter;
+  c_msgs_received : Obs.Registry.counter;
+  c_bytes_sent : Obs.Registry.counter;
+  c_bytes_received : Obs.Registry.counter;
 }
 
 type 'msg t = {
@@ -13,13 +27,32 @@ type 'msg t = {
   busy_until : float array;  (* receiver CPU queue *)
   handlers : (src:int -> 'msg -> unit) option array;
   down : bool array;
-  node_stats : stats array;
+  node_obs : node_obs array;
   mutable partition : int -> int;
   mutable loss_rate : float;
   mutable total : int;
 }
 
-let create ~engine ~rng ~n ~latency ?(processing = fun _ -> 0.0) () =
+let node_obs_of_sink sink =
+  let reg = Obs.Sink.metrics sink in
+  {
+    sink;
+    c_msgs_sent = Obs.Registry.counter reg "overlay.msgs.sent";
+    c_msgs_received = Obs.Registry.counter reg "overlay.msgs.received";
+    c_bytes_sent = Obs.Registry.counter reg "overlay.bytes.sent";
+    c_bytes_received = Obs.Registry.counter reg "overlay.bytes.received";
+  }
+
+let create ~engine ~rng ~n ~latency ?(processing = fun _ -> 0.0) ?obs () =
+  let sink_of i =
+    match obs with
+    | Some f -> f i
+    | None ->
+        (* metrics-only sink over a private registry: byte/message accounting
+           is part of the network's API and stays on even when tracing is
+           off. *)
+        Obs.Sink.make ~node:i ~now:(fun () -> Engine.now engine) (Obs.Registry.create ())
+  in
   {
     engine;
     rng;
@@ -28,9 +61,7 @@ let create ~engine ~rng ~n ~latency ?(processing = fun _ -> 0.0) () =
     busy_until = Array.make n 0.0;
     handlers = Array.make n None;
     down = Array.make n false;
-    node_stats =
-      Array.init n (fun _ ->
-          { msgs_sent = 0; msgs_received = 0; bytes_sent = 0; bytes_received = 0 });
+    node_obs = Array.init n (fun i -> node_obs_of_sink (sink_of i));
     partition = (fun _ -> 0);
     loss_rate = 0.0;
     total = 0;
@@ -43,14 +74,25 @@ let set_down t i b = t.down.(i) <- b
 let is_down t i = t.down.(i)
 let set_partition t f = t.partition <- f
 let set_loss_rate t r = t.loss_rate <- r
-let stats t i = t.node_stats.(i)
+
+let registry t i = Obs.Sink.metrics t.node_obs.(i).sink
+
+let stats t i =
+  let reg = registry t i in
+  {
+    msgs_sent = Obs.Registry.counter_value reg "overlay.msgs.sent";
+    msgs_received = Obs.Registry.counter_value reg "overlay.msgs.received";
+    bytes_sent = Obs.Registry.counter_value reg "overlay.bytes.sent";
+    bytes_received = Obs.Registry.counter_value reg "overlay.bytes.received";
+  }
+
 let total_messages t = t.total
 
 let send t ~src ~dst ~size:bytes msg =
   if not t.down.(src) then begin
-    let s = t.node_stats.(src) in
-    s.msgs_sent <- s.msgs_sent + 1;
-    s.bytes_sent <- s.bytes_sent + bytes;
+    let s = t.node_obs.(src) in
+    Obs.Registry.incr s.c_msgs_sent;
+    Obs.Registry.add s.c_bytes_sent bytes;
     t.total <- t.total + 1;
     let dropped =
       t.partition src <> t.partition dst
@@ -65,9 +107,9 @@ let send t ~src ~dst ~size:bytes msg =
           match t.handlers.(dst) with
           | None -> ()
           | Some h ->
-              let r = t.node_stats.(dst) in
-              r.msgs_received <- r.msgs_received + 1;
-              r.bytes_received <- r.bytes_received + bytes;
+              let r = t.node_obs.(dst) in
+              Obs.Registry.incr r.c_msgs_received;
+              Obs.Registry.add r.c_bytes_received bytes;
               h ~src msg
       in
       (* The receiver's CPU queue is FIFO in ARRIVAL order: the busy-time

@@ -8,11 +8,12 @@
 type 'msg t
 
 type stats = {
-  mutable msgs_sent : int;
-  mutable msgs_received : int;
-  mutable bytes_sent : int;
-  mutable bytes_received : int;
+  msgs_sent : int;
+  msgs_received : int;
+  bytes_sent : int;
+  bytes_received : int;
 }
+(** Snapshot of one node's traffic counters (see {!stats}). *)
 
 val create :
   engine:Engine.t ->
@@ -20,13 +21,20 @@ val create :
   n:int ->
   latency:Latency.t ->
   ?processing:(int -> float) ->
+  ?obs:(int -> Stellar_obs.Sink.t) ->
   unit ->
   'msg t
 (** [processing size] models the receiver's per-message CPU cost
     (deserialization + signature verification) in seconds; messages queue
     at a busy receiver.  This is what makes consensus latency grow with the
     validator count (Fig. 11) — with free message processing it would not.
-    Default: no cost. *)
+    Default: no cost.
+
+    [obs] supplies the per-node observability sink; message/byte accounting
+    is kept in each sink's registry under [overlay.msgs.sent],
+    [overlay.msgs.received], [overlay.bytes.sent] and
+    [overlay.bytes.received].  Without [obs] the network still accounts
+    traffic, into private metrics-only registries. *)
 
 val size : 'msg t -> int
 val engine : 'msg t -> Engine.t
@@ -50,4 +58,10 @@ val set_loss_rate : 'msg t -> float -> unit
 (** Independent per-message drop probability. *)
 
 val stats : 'msg t -> int -> stats
+(** Thin wrapper over the node's registry counters. *)
+
+val registry : 'msg t -> int -> Stellar_obs.Registry.t
+(** The registry backing node [i]'s traffic counters (the one from [obs]
+    when supplied at {!create}). *)
+
 val total_messages : 'msg t -> int

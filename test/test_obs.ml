@@ -1,0 +1,237 @@
+(* Tests for the observability subsystem (lib/obs): metric registries,
+   structured tracing, spans, report derivation, and the determinism
+   contract BENCH_phases.json depends on. *)
+
+module Obs = Stellar_obs
+
+(* ---- registry ---- *)
+
+let test_counter_monotonic () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "scp.ballot.prepare" in
+  let prev = ref 0 in
+  for i = 1 to 100 do
+    if i mod 3 = 0 then Obs.Registry.add c 2 else Obs.Registry.incr c;
+    let v = Obs.Registry.counter_value r "scp.ballot.prepare" in
+    Alcotest.(check bool) "monotone" true (v > !prev);
+    prev := v
+  done;
+  (* re-registration returns the same handle *)
+  let c' = Obs.Registry.counter r "scp.ballot.prepare" in
+  Obs.Registry.incr c';
+  Alcotest.(check int) "shared handle" (!prev + 1)
+    (Obs.Registry.counter_value r "scp.ballot.prepare")
+
+let test_kind_mismatch () =
+  let r = Obs.Registry.create () in
+  ignore (Obs.Registry.counter r "x");
+  Alcotest.check_raises "counter vs gauge"
+    (Invalid_argument "Registry: x already registered as a counter, wanted a gauge")
+    (fun () -> ignore (Obs.Registry.gauge r "x"))
+
+let test_merge () =
+  let a = Obs.Registry.create () and b = Obs.Registry.create () in
+  Obs.Registry.add (Obs.Registry.counter a "c") 3;
+  Obs.Registry.add (Obs.Registry.counter b "c") 4;
+  Obs.Registry.set (Obs.Registry.gauge a "g") 1.5;
+  Obs.Registry.set (Obs.Registry.gauge b "g") 2.5;
+  Obs.Registry.observe (Obs.Registry.histogram a "h") 0.01;
+  Obs.Registry.observe (Obs.Registry.histogram b "h") 0.02;
+  let m = Obs.Registry.merge [ a; b ] in
+  Alcotest.(check int) "counters add" 7 (Obs.Registry.counter_value m "c");
+  Alcotest.(check (float 1e-9)) "gauges sum" 4.0 (Obs.Registry.gauge_value m "g");
+  match Obs.Registry.summary m "h" with
+  | Some s -> Alcotest.(check int) "histogram counts add" 2 s.Obs.Registry.count
+  | None -> Alcotest.fail "merged histogram missing"
+
+(* Histogram percentile estimates agree exactly with the list-based
+   Stellar_node.Metrics.percentile when every sample sits on a bucket
+   bound (the estimate is the bucket's upper bound under the same
+   nearest-rank convention). *)
+let test_histogram_percentiles () =
+  let bounds = Obs.Registry.default_bounds in
+  let r = Obs.Registry.create () in
+  let h = Obs.Registry.histogram r "lat" in
+  let samples = ref [] in
+  (* an uneven spread over the bound values, including repeats *)
+  Array.iteri
+    (fun i b ->
+      let reps = 1 + (i mod 4) in
+      for _ = 1 to reps do
+        Obs.Registry.observe h b;
+        samples := b :: !samples
+      done)
+    bounds;
+  let sorted = Array.of_list (List.sort Float.compare !samples) in
+  List.iter
+    (fun q ->
+      let exact = Stellar_node.Metrics.percentile sorted q in
+      let est = Obs.Registry.percentile_of h q in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "p%.0f" (q *. 100.0))
+        exact est)
+    [ 0.0; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  let clock = ref 0.0 in
+  let trace = Obs.Trace.create () in
+  let reg = Obs.Registry.create () in
+  let sink = Obs.Sink.make ~trace ~node:3 ~now:(fun () -> !clock) reg in
+  let outer = Obs.Sink.span_begin sink ~name:"close" ~slot:7 in
+  clock := 1.0;
+  let inner = Obs.Sink.span_begin sink ~name:"close" ~slot:7 in
+  clock := 2.0;
+  Obs.Sink.span_end inner;
+  clock := 5.0;
+  Obs.Sink.span_end outer;
+  (match Obs.Report.spans trace with
+  | [ (n1, "close", 7, t0_in, t1_in); (n2, "close", 7, t0_out, t1_out) ] ->
+      Alcotest.(check int) "node" 3 n1;
+      Alcotest.(check int) "node" 3 n2;
+      (* same-key spans pair LIFO: inner completes first *)
+      Alcotest.(check (float 1e-9)) "inner t0" 1.0 t0_in;
+      Alcotest.(check (float 1e-9)) "inner t1" 2.0 t1_in;
+      Alcotest.(check (float 1e-9)) "outer t0" 0.0 t0_out;
+      Alcotest.(check (float 1e-9)) "outer t1" 5.0 t1_out
+  | l -> Alcotest.failf "expected 2 paired spans, got %d" (List.length l));
+  (* durations feed the histogram named after the span *)
+  match Obs.Registry.summary reg "close" with
+  | Some s -> Alcotest.(check int) "span histogram count" 2 s.Obs.Registry.count
+  | None -> Alcotest.fail "span histogram missing"
+
+let test_with_span_exception_safe () =
+  let trace = Obs.Trace.create () in
+  let sink = Obs.Sink.make ~trace ~node:0 ~now:(fun () -> 0.0) (Obs.Registry.create ()) in
+  (try Obs.Sink.with_span sink ~name:"s" ~slot:1 (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span closed on exception" 1 (List.length (Obs.Report.spans trace))
+
+(* ---- null sink is inert ---- *)
+
+let test_null_sink () =
+  Alcotest.(check bool) "disabled" false (Obs.Sink.enabled Obs.Sink.null);
+  Obs.Sink.incr Obs.Sink.null "c";
+  Obs.Sink.set_gauge Obs.Sink.null "g" 1.0;
+  Obs.Sink.observe Obs.Sink.null "h" 1.0;
+  Obs.Sink.emit Obs.Sink.null (Obs.Event.Externalize { slot = 1 });
+  Obs.Sink.with_span Obs.Sink.null ~name:"s" ~slot:1 (fun () -> ());
+  Alcotest.(check int) "no metrics recorded" 0
+    (List.length (Obs.Registry.names (Obs.Sink.metrics Obs.Sink.null)))
+
+(* ---- network stats migration (satellite 2) ---- *)
+
+let test_network_stats_wrapper () =
+  let engine = Stellar_sim.Engine.create () in
+  let rng = Stellar_sim.Rng.create ~seed:42 in
+  let net =
+    Stellar_sim.Network.create ~engine ~rng ~n:2 ~latency:Stellar_sim.Latency.datacenter ()
+  in
+  Stellar_sim.Network.set_handler net 1 (fun ~src:_ _ -> ());
+  Stellar_sim.Network.send net ~src:0 ~dst:1 ~size:100 "hello";
+  Stellar_sim.Network.send net ~src:0 ~dst:1 ~size:50 "again";
+  Stellar_sim.Engine.run engine;
+  let s0 = Stellar_sim.Network.stats net 0 and s1 = Stellar_sim.Network.stats net 1 in
+  Alcotest.(check int) "sent msgs" 2 s0.Stellar_sim.Network.msgs_sent;
+  Alcotest.(check int) "sent bytes" 150 s0.Stellar_sim.Network.bytes_sent;
+  Alcotest.(check int) "recv msgs" 2 s1.Stellar_sim.Network.msgs_received;
+  Alcotest.(check int) "recv bytes" 150 s1.Stellar_sim.Network.bytes_received;
+  (* the wrapper reads straight from the registry *)
+  let reg0 = Stellar_sim.Network.registry net 0 in
+  Alcotest.(check int) "registry backs stats" s0.Stellar_sim.Network.bytes_sent
+    (Obs.Registry.counter_value reg0 "overlay.bytes.sent")
+
+(* ---- end-to-end determinism (the BENCH_phases.json contract) ---- *)
+
+let observed_run seed =
+  let spec = Stellar_node.Topology.all_to_all ~n:4 in
+  Stellar_node.Scenario.run
+    {
+      (Stellar_node.Scenario.default ~spec) with
+      Stellar_node.Scenario.tx_rate = 10.0;
+      duration = 30.0;
+      seed;
+      observe = true;
+    }
+
+let test_trace_deterministic () =
+  let r1 = observed_run 5 and r2 = observed_run 5 in
+  let t1 = Option.get r1.Stellar_node.Scenario.telemetry in
+  let t2 = Option.get r2.Stellar_node.Scenario.telemetry in
+  let j1 = Obs.Trace.to_jsonl (Obs.Collector.trace t1) in
+  let j2 = Obs.Trace.to_jsonl (Obs.Collector.trace t2) in
+  Alcotest.(check bool) "trace non-empty" true (String.length j1 > 0);
+  Alcotest.(check string) "JSONL byte-identical" j1 j2;
+  let report c =
+    let tr = Obs.Collector.trace c in
+    Obs.Report.breakdown_json (Obs.Report.breakdown tr)
+    ^ Obs.Report.phases_json (Obs.Report.slot_phases tr)
+    ^ Obs.Report.flood_json (Obs.Report.flood_stats tr)
+  in
+  Alcotest.(check string) "derived report identical" (report t1) (report t2)
+
+let test_trace_phases_sane () =
+  let r = observed_run 5 in
+  let c = Option.get r.Stellar_node.Scenario.telemetry in
+  let ph = Obs.Report.slot_phases (Obs.Collector.trace c) in
+  Alcotest.(check bool) "some slots measured" true (List.length ph > 0);
+  List.iter
+    (fun p ->
+      let open Obs.Report in
+      Alcotest.(check bool) "phases non-negative" true
+        (p.nomination_s >= 0.0 && p.ballot_s >= 0.0 && p.apply_s > 0.0);
+      Alcotest.(check (float 1e-9)) "total = nom + ballot + apply"
+        (p.nomination_s +. p.ballot_s +. p.apply_s)
+        p.total_s)
+    ph;
+  (* the herder's own stopwatch and the trace agree on how many ledgers
+     node 0 closed *)
+  Alcotest.(check bool) "slot count matches ledgers closed" true
+    (List.length ph >= r.Stellar_node.Scenario.ledgers_closed - 1);
+  (* validator.helped.size gauge appears once pruning has run (satellite 1) *)
+  let names = Obs.Registry.names (Obs.Collector.registry c 0) in
+  Alcotest.(check bool) "helped-size gauge exported" true
+    (List.mem "validator.helped.size" names);
+  Alcotest.(check bool) "helped table bounded" true
+    (Obs.Registry.gauge_value (Obs.Collector.registry c 0) "validator.helped.size" >= 0.0)
+
+let test_flood_amplification () =
+  let r = observed_run 5 in
+  let c = Option.get r.Stellar_node.Scenario.telemetry in
+  let fl = Obs.Report.flood_stats (Obs.Collector.trace c) in
+  Alcotest.(check int) "every node floods" 4 (List.length fl);
+  List.iter
+    (fun (_, f) ->
+      let open Obs.Report in
+      Alcotest.(check bool) "amplification >= 1" true (f.amplification >= 1.0);
+      Alcotest.(check int) "recv + dropped consistent"
+        (f.received + f.dup_dropped)
+        (int_of_float (f.amplification *. float_of_int f.received +. 0.5)))
+    fl
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter monotonic" `Quick test_counter_monotonic;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "with_span exception-safe" `Quick test_with_span_exception_safe;
+          Alcotest.test_case "null sink" `Quick test_null_sink;
+        ] );
+      ( "network",
+        [ Alcotest.test_case "stats wrapper" `Quick test_network_stats_wrapper ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "trace byte-identical" `Quick test_trace_deterministic;
+          Alcotest.test_case "phase breakdown sane" `Quick test_trace_phases_sane;
+          Alcotest.test_case "flood amplification" `Quick test_flood_amplification;
+        ] );
+    ]
