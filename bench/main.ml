@@ -17,6 +17,7 @@ let experiments =
     ("tab-close", Exp_close.run);
     ("tab-resources", Exp_resources.run);
     ("fig12-phases", Exp_phases.run);
+    ("fig-e2e", Exp_e2e.run);
     ("tab-qic", Exp_quorum.run);
     ("abl-baseline", Exp_baseline.run);
     ("abl-crypto", Micro.run);

@@ -175,7 +175,7 @@ let create ~engine ~rng ~n ~latency ?(view_timeout = 3.0) ~on_decide () =
   in
   let c = { engine; net; replicas; f = (n - 1) / 3; view_timeout; on_decide } in
   Array.iteri
-    (fun i _ -> Stellar_sim.Network.set_handler net i (fun ~src m -> handle c i m ~src))
+    (fun i _ -> Stellar_sim.Network.set_handler net i (fun ~src ~info:_ m -> handle c i m ~src))
     replicas;
   c
 

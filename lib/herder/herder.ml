@@ -92,6 +92,10 @@ let timing t slot =
 let prev_header_hash t =
   match t.headers with h :: _ -> Header.hash h | [] -> Header.genesis_hash
 
+(* Transaction-lifecycle trace events are keyed by the lowercase-hex tx
+   hash, the same key Horizon-style APIs expose. *)
+let tx_hex signed = Stellar_crypto.Hex.encode (Tx.hash signed.Tx.tx)
+
 (* ---- value validation & combination (§5.3) ---- *)
 
 let validate_value t ~slot raw =
@@ -142,10 +146,18 @@ let rec close_ledger t slot (v : Value.t) =
       (* Apply_begin/Apply_end carry tx/op counts at the (single) simulated
          instant of application; CPU time goes to the ledger.apply_ms
          histogram, keeping the trace deterministic. *)
-      if Stellar_obs.Sink.enabled t.obs then
+      if Stellar_obs.Sink.enabled t.obs then begin
+        (* the network decided this slot: every tx in the winning set is
+           externalized at this node's close instant *)
+        List.iter
+          (fun signed ->
+            Stellar_obs.Sink.emit t.obs
+              (Stellar_obs.Event.Tx_externalized { tx = tx_hex signed; slot }))
+          txs;
         Stellar_obs.Sink.emit t.obs
           (Stellar_obs.Event.Apply_begin
-             { slot; txs = Tx_set.tx_count ts; ops = Tx_set.op_count ts });
+             { slot; txs = Tx_set.tx_count ts; ops = Tx_set.op_count ts })
+      end;
       let state', results =
         Apply.apply_tx_set ~obs:t.obs Apply.sim_ctx t.state ~close_time:v.Value.close_time
           txs
@@ -179,7 +191,13 @@ let rec close_ledger t slot (v : Value.t) =
       t.buckets <- buckets';
       t.headers <- header :: t.headers;
       Tx_queue.remove_applied t.queue txs;
-      ignore (Tx_queue.purge_invalid t.queue ~state:t.state);
+      let purged = Tx_queue.purge_invalid t.queue ~state:t.state in
+      if Stellar_obs.Sink.enabled t.obs then
+        List.iter
+          (fun signed ->
+            Stellar_obs.Sink.emit t.obs
+              (Stellar_obs.Event.Tx_dropped { tx = tx_hex signed; reason = `Stale }))
+          purged;
       if Stellar_obs.Sink.enabled t.obs then
         Stellar_obs.Sink.set_gauge t.obs "herder.queue.size"
           (float_of_int (Tx_queue.size t.queue));
@@ -229,6 +247,12 @@ and trigger_next_ledger t =
       Tx_queue.candidates t.queue ~state:t.state ~max_ops:t.config.max_ops_per_ledger
     in
     let ts = Tx_set.make ~prev_header_hash:(prev_header_hash t) txs in
+    if Stellar_obs.Sink.enabled t.obs then
+      List.iter
+        (fun signed ->
+          Stellar_obs.Sink.emit t.obs
+            (Stellar_obs.Event.Tx_in_txset { tx = tx_hex signed; slot }))
+        txs;
     Hashtbl.replace t.tx_sets (Tx_set.hash ts) ts;
     t.cb.broadcast_tx_set ts;
     let close_time = max (int_of_float (t.cb.now ())) (State.close_time t.state + 1) in
@@ -326,11 +350,19 @@ let stop t =
 (* ---- ingress ---- *)
 
 let receive_tx t signed =
-  if Tx_queue.add t.queue signed then `New else `Duplicate
+  if Tx_queue.add t.queue signed then `New
+  else begin
+    if Stellar_obs.Sink.enabled t.obs then
+      Stellar_obs.Sink.emit t.obs
+        (Stellar_obs.Event.Tx_dropped { tx = tx_hex signed; reason = `Duplicate });
+    `Duplicate
+  end
 
 let submit_tx t signed =
   match receive_tx t signed with
   | `New ->
+      if Stellar_obs.Sink.enabled t.obs then
+        Stellar_obs.Sink.emit t.obs (Stellar_obs.Event.Tx_submit { tx = tx_hex signed });
       t.cb.broadcast_tx signed;
       `Queued
   | `Duplicate -> `Duplicate

@@ -59,7 +59,9 @@ val create :
     from an archive checkpoint rather than from ledger 1 (§5.4).
     [obs] (default disabled) instruments the whole close path: it is handed
     to the SCP driver, ledger apply and bucket merges, and the herder itself
-    emits [First_vote]/[Apply_begin]/[Apply_end] events plus the
+    emits [First_vote]/[Apply_begin]/[Apply_end] events, the per-transaction
+    lifecycle events ([Tx_submit], [Tx_in_txset], [Tx_externalized],
+    [Tx_dropped]; [Tx_applied] comes from ledger apply), plus the
     [ledger.apply_ms] CPU histogram and [herder.queue.size] gauge. *)
 
 val node_id : t -> Scp.Types.node_id

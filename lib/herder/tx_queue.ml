@@ -98,4 +98,4 @@ let purge_invalid t ~state =
         !q)
     t.by_account;
   List.iter (remove_one t) !stale;
-  List.length !stale
+  !stale

@@ -17,6 +17,8 @@ val candidates : t -> state:Stellar_ledger.State.t -> max_ops:int -> Stellar_led
     slots (§5.2's surge pricing). *)
 
 val remove_applied : t -> Stellar_ledger.Tx.signed list -> unit
-val purge_invalid : t -> state:Stellar_ledger.State.t -> int
+
+val purge_invalid : t -> state:Stellar_ledger.State.t -> Stellar_ledger.Tx.signed list
 (** Drop transactions whose sequence numbers can no longer apply; returns
-    how many were dropped. *)
+    the dropped transactions (so the herder can emit [Tx_dropped] trace
+    events for them). *)

@@ -721,12 +721,20 @@ let apply_tx_set ?(obs = Stellar_obs.Sink.null) ctx state ~close_time txs =
     done;
     List.rev !out
   in
+  let slot = State.ledger_seq state in
   let state, results =
     List.fold_left
       (fun (state, acc) signed ->
         let state, outcome = apply_tx ctx state signed in
         if Stellar_obs.Sink.enabled obs then begin
           Stellar_obs.Sink.incr obs (outcome_metric outcome);
+          Stellar_obs.Sink.emit obs
+            (Stellar_obs.Event.Tx_applied
+               {
+                 tx = Stellar_crypto.Hex.encode (Tx.hash signed.Tx.tx);
+                 slot;
+                 ok = tx_succeeded outcome;
+               });
           match outcome with
           | Tx_success rs -> Stellar_obs.Sink.add obs "ledger.ops.applied" (List.length rs)
           | _ -> ()

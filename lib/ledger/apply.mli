@@ -67,4 +67,5 @@ val apply_tx_set :
     apply in deterministic (hash-shuffled) order, as stellar-core does.
     An enabled [obs] sink counts per-outcome transactions
     ([ledger.tx.success], [ledger.tx.bad_seq], ...) and applied operations
-    ([ledger.ops.applied]). *)
+    ([ledger.ops.applied]), and emits one [Tx_applied] lifecycle trace
+    event per transaction, keyed by the hex tx hash. *)

@@ -12,6 +12,7 @@ type params = {
   max_ops_per_ledger : int;
   warmup_ledgers : int;
   observe : bool;
+  trace_capacity : int option;
 }
 
 let default ~spec =
@@ -27,6 +28,7 @@ let default ~spec =
     max_ops_per_ledger = 10_000;
     warmup_ledgers = 2;
     observe = false;
+    trace_capacity = None;
   }
 
 type report = {
@@ -63,8 +65,10 @@ let run p =
   let telemetry =
     if p.observe then begin
       let c =
-        Stellar_obs.Collector.create ~n:p.spec.Topology.n_nodes
+        Stellar_obs.Collector.create ?trace_capacity:p.trace_capacity
+          ~n:p.spec.Topology.n_nodes
           ~now:(fun () -> Stellar_sim.Engine.now engine)
+          ()
       in
       Stellar_sim.Engine.set_obs engine (Stellar_obs.Collector.sim_sink c);
       Some c

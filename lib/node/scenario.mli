@@ -24,6 +24,10 @@ type params = {
       (** collect a structured trace and per-node metric registries
           ({!report.telemetry}); default off — instrumentation then costs
           one branch per site *)
+  trace_capacity : int option;
+      (** bound the shared trace to this many events; once full, further
+          events are dropped and counted under [obs.trace.dropped].
+          Default unbounded *)
 }
 
 val default : spec:Topology.spec -> params

@@ -44,21 +44,37 @@ let flood t ?except ?(force = false) msg =
   if force || not (Hashtbl.mem t.seen key) then begin
     Hashtbl.replace t.seen key ();
     let size = String.length encoded in
+    (* One monotone id per flood decision: every fanout copy carries it, so
+       each Flood_recv downstream names this exact Flood_send (the causal
+       edge the critical-path report walks). *)
+    let msg_id = Stellar_sim.Network.alloc_msg_id t.network in
     let fanout = ref 0 in
     List.iter
       (fun peer ->
         if Some peer <> except && peer <> t.index then begin
           incr fanout;
           t.floods_forwarded <- t.floods_forwarded + 1;
-          Stellar_sim.Network.send t.network ~src:t.index ~dst:peer ~size msg
+          Stellar_sim.Network.send t.network ~src:t.index ~dst:peer ~size ~msg_id msg
         end)
       t.peers;
     if Obs.Sink.enabled t.obs then begin
       Obs.Sink.add t.obs "flood.forwarded" !fanout;
       Obs.Sink.emit t.obs
-        (Obs.Event.Flood_send { kind = Message.kind_name msg; bytes = size; fanout = !fanout })
+        (Obs.Event.Flood_send
+           { kind = Message.kind_name msg; bytes = size; fanout = !fanout; msg_id })
     end
   end
+
+(* Point-to-point (non-flooded) send, used for straggler help: still tagged
+   and traced as a fanout-1 Flood_send so every delivery in the trace
+   resolves to exactly one send. *)
+let send_direct t ~dst msg =
+  let size = Message.size msg in
+  let msg_id = Stellar_sim.Network.alloc_msg_id t.network in
+  if Obs.Sink.enabled t.obs then
+    Obs.Sink.emit t.obs
+      (Obs.Event.Flood_send { kind = Message.kind_name msg; bytes = size; fanout = 1; msg_id });
+  Stellar_sim.Network.send t.network ~src:t.index ~dst ~size ~msg_id msg
 
 (* A peer still voting on a slot we already closed gets our retained
    envelopes (and the tx sets they reference) directly — the §6 fix. *)
@@ -77,19 +93,11 @@ let maybe_help_straggler t ~src env =
     Hashtbl.replace t.helped (src, slot) ();
     Obs.Sink.incr t.obs "flood.straggler_helped";
     let envs, tx_sets = Stellar_herder.Herder.help_straggler t.herder ~slot in
-    List.iter
-      (fun ts ->
-        let m = Message.Tx_set_msg ts in
-        Stellar_sim.Network.send t.network ~src:t.index ~dst:src ~size:(Message.size m) m)
-      tx_sets;
-    List.iter
-      (fun e ->
-        let m = Message.Envelope e in
-        Stellar_sim.Network.send t.network ~src:t.index ~dst:src ~size:(Message.size m) m)
-      envs
+    List.iter (fun ts -> send_direct t ~dst:src (Message.Tx_set_msg ts)) tx_sets;
+    List.iter (fun e -> send_direct t ~dst:src (Message.Envelope e)) envs
   end
 
-let handle t ~src msg =
+let handle t ~src ~(info : Stellar_sim.Network.delivery) msg =
   t.floods_seen <- t.floods_seen + 1;
   let key = Message.dedup_key msg in
   if not (Hashtbl.mem t.seen key) then begin
@@ -97,7 +105,27 @@ let handle t ~src msg =
       Obs.Sink.incr t.obs "flood.unique";
       Obs.Sink.emit t.obs
         (Obs.Event.Flood_recv
-           { kind = Message.kind_name msg; bytes = Message.size msg; src })
+           {
+             kind = Message.kind_name msg;
+             bytes = Message.size msg;
+             src;
+             send_id = info.Stellar_sim.Network.msg_id;
+             link_s = info.Stellar_sim.Network.link_s;
+             wait_s = info.Stellar_sim.Network.wait_s;
+             proc_s = info.Stellar_sim.Network.proc_s;
+           });
+      (* first sight of a transaction at this node: a tx-lifecycle mark for
+         the flood-propagation view (the origin emits its own in
+         broadcast_tx) *)
+      match msg with
+      | Message.Tx_msg signed ->
+          Obs.Sink.emit t.obs
+            (Obs.Event.Tx_flooded
+               {
+                 tx =
+                   Stellar_crypto.Hex.encode (Stellar_ledger.Tx.hash signed.Stellar_ledger.Tx.tx);
+               })
+      | _ -> ()
     end;
     (* process locally, then forward to our peers (flood with dedup) *)
     (match msg with
@@ -109,8 +137,10 @@ let handle t ~src msg =
     flood t ~except:src msg
   end
   else if Obs.Sink.enabled t.obs then begin
+    let bytes = Message.size msg in
     Obs.Sink.incr t.obs "flood.dup_dropped";
-    Obs.Sink.emit t.obs (Obs.Event.Dedup_drop { kind = Message.kind_name msg; src })
+    Obs.Sink.add t.obs "flood.dup_bytes" bytes;
+    Obs.Sink.emit t.obs (Obs.Event.Dedup_drop { kind = Message.kind_name msg; src; bytes })
   end
 
 let create ~network ~index ~peers ~config ~genesis ?buckets ?headers
@@ -129,7 +159,18 @@ let create ~network ~index ~peers ~config ~genesis ?buckets ?headers
                  Obs.Sink.incr v.obs "flood.own_envelopes";
                  flood v ~force:true (Message.Envelope env));
              broadcast_tx_set = (fun ts -> flood (Lazy.force t) (Message.Tx_set_msg ts));
-             broadcast_tx = (fun signed -> flood (Lazy.force t) (Message.Tx_msg signed));
+             broadcast_tx =
+               (fun signed ->
+                 let v = Lazy.force t in
+                 if Obs.Sink.enabled v.obs then
+                   Obs.Sink.emit v.obs
+                     (Obs.Event.Tx_flooded
+                        {
+                          tx =
+                            Stellar_crypto.Hex.encode
+                              (Stellar_ledger.Tx.hash signed.Stellar_ledger.Tx.tx);
+                        });
+                 flood v (Message.Tx_msg signed));
              schedule =
                (fun ~delay f ->
                  let timer = Stellar_sim.Engine.schedule engine ~delay f in
@@ -157,7 +198,7 @@ let create ~network ~index ~peers ~config ~genesis ?buckets ?headers
        })
   in
   let t = Lazy.force t in
-  Stellar_sim.Network.set_handler network index (fun ~src msg -> handle t ~src msg);
+  Stellar_sim.Network.set_handler network index (fun ~src ~info msg -> handle t ~src ~info msg);
   t
 
 let start t = Stellar_herder.Herder.start t.herder

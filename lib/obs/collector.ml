@@ -6,8 +6,8 @@ type t = {
   sim_sink : Sink.t;
 }
 
-let create ~n ~now =
-  let trace = Trace.create () in
+let create ?trace_capacity ~n ~now () =
+  let trace = Trace.create ?capacity:trace_capacity () in
   let node_registries = Array.init n (fun _ -> Registry.create ()) in
   let sim_registry = Registry.create () in
   {

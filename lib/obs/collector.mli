@@ -4,8 +4,11 @@
 
 type t
 
-val create : n:int -> now:(unit -> float) -> t
-(** [now] is the simulated clock (e.g. [fun () -> Engine.now engine]). *)
+val create : ?trace_capacity:int -> n:int -> now:(unit -> float) -> unit -> t
+(** [now] is the simulated clock (e.g. [fun () -> Engine.now engine]).
+    [trace_capacity] bounds the shared trace (see {!Trace.create}); events
+    past the bound are dropped and counted per node as
+    [obs.trace.dropped]. *)
 
 val trace : t -> Trace.t
 val n_nodes : t -> int

@@ -1,4 +1,5 @@
 type timeout_kind = [ `Nomination | `Ballot ]
+type drop_reason = [ `Duplicate | `Stale ]
 
 type t =
   | Nominate_start of { slot : int }
@@ -8,14 +9,28 @@ type t =
   | Confirm_prepare of { slot : int }
   | Externalize of { slot : int }
   | Timeout_fired of { slot : int; kind : timeout_kind }
-  | Flood_send of { kind : string; bytes : int; fanout : int }
-  | Flood_recv of { kind : string; bytes : int; src : int }
-  | Dedup_drop of { kind : string; src : int }
+  | Flood_send of { kind : string; bytes : int; fanout : int; msg_id : int }
+  | Flood_recv of {
+      kind : string;
+      bytes : int;
+      src : int;
+      send_id : int;
+      link_s : float;
+      wait_s : float;
+      proc_s : float;
+    }
+  | Dedup_drop of { kind : string; src : int; bytes : int }
   | Apply_begin of { slot : int; txs : int; ops : int }
   | Apply_end of { slot : int; txs : int; ops : int }
   | Bucket_merge of { level : int; entries : int }
   | Span_begin of { name : string; slot : int }
   | Span_end of { name : string; slot : int; dur_s : float }
+  | Tx_submit of { tx : string }
+  | Tx_flooded of { tx : string }
+  | Tx_in_txset of { tx : string; slot : int }
+  | Tx_externalized of { tx : string; slot : int }
+  | Tx_applied of { tx : string; slot : int; ok : bool }
+  | Tx_dropped of { tx : string; reason : drop_reason }
 
 let name = function
   | Nominate_start _ -> "nominate.start"
@@ -33,8 +48,15 @@ let name = function
   | Bucket_merge _ -> "bucket.merge"
   | Span_begin _ -> "span.begin"
   | Span_end _ -> "span.end"
+  | Tx_submit _ -> "tx.submit"
+  | Tx_flooded _ -> "tx.flooded"
+  | Tx_in_txset _ -> "tx.txset"
+  | Tx_externalized _ -> "tx.externalized"
+  | Tx_applied _ -> "tx.applied"
+  | Tx_dropped _ -> "tx.dropped"
 
 let timeout_kind_name = function `Nomination -> "nomination" | `Ballot -> "ballot"
+let drop_reason_name = function `Duplicate -> "duplicate" | `Stale -> "stale"
 
 (* Payload as a JSON fragment (comma-prefixed key/values, no braces).  All
    float formatting is fixed-width so traces are byte-identical across runs
@@ -47,11 +69,15 @@ let fields = function
   | Confirm_prepare { slot } | Externalize { slot } -> Printf.sprintf {|,"slot":%d|} slot
   | Timeout_fired { slot; kind } ->
       Printf.sprintf {|,"slot":%d,"kind":"%s"|} slot (timeout_kind_name kind)
-  | Flood_send { kind; bytes; fanout } ->
-      Printf.sprintf {|,"kind":"%s","bytes":%d,"fanout":%d|} kind bytes fanout
-  | Flood_recv { kind; bytes; src } ->
-      Printf.sprintf {|,"kind":"%s","bytes":%d,"src":%d|} kind bytes src
-  | Dedup_drop { kind; src } -> Printf.sprintf {|,"kind":"%s","src":%d|} kind src
+  | Flood_send { kind; bytes; fanout; msg_id } ->
+      Printf.sprintf {|,"kind":"%s","bytes":%d,"fanout":%d,"msg_id":%d|} kind bytes fanout
+        msg_id
+  | Flood_recv { kind; bytes; src; send_id; link_s; wait_s; proc_s } ->
+      Printf.sprintf
+        {|,"kind":"%s","bytes":%d,"src":%d,"send_id":%d,"link_s":%.9f,"wait_s":%.9f,"proc_s":%.9f|}
+        kind bytes src send_id link_s wait_s proc_s
+  | Dedup_drop { kind; src; bytes } ->
+      Printf.sprintf {|,"kind":"%s","src":%d,"bytes":%d|} kind src bytes
   | Apply_begin { slot; txs; ops } | Apply_end { slot; txs; ops } ->
       Printf.sprintf {|,"slot":%d,"txs":%d,"ops":%d|} slot txs ops
   | Bucket_merge { level; entries } ->
@@ -59,3 +85,10 @@ let fields = function
   | Span_begin { name; slot } -> Printf.sprintf {|,"name":"%s","slot":%d|} name slot
   | Span_end { name; slot; dur_s } ->
       Printf.sprintf {|,"name":"%s","slot":%d,"dur_s":%.6f|} name slot dur_s
+  | Tx_submit { tx } | Tx_flooded { tx } -> Printf.sprintf {|,"tx":"%s"|} tx
+  | Tx_in_txset { tx; slot } | Tx_externalized { tx; slot } ->
+      Printf.sprintf {|,"tx":"%s","slot":%d|} tx slot
+  | Tx_applied { tx; slot; ok } ->
+      Printf.sprintf {|,"tx":"%s","slot":%d,"ok":%b|} tx slot ok
+  | Tx_dropped { tx; reason } ->
+      Printf.sprintf {|,"tx":"%s","reason":"%s"|} tx (drop_reason_name reason)

@@ -2,9 +2,27 @@
     observe about a running validator, as typed constructors rather than log
     strings.  Events are stamped with simulated time and node id by
     {!Trace.record} (via {!Sink.emit}); the payload here is only the
-    protocol-level fact. *)
+    protocol-level fact.
+
+    Two event families carry causal identity:
+
+    - Flood events: every {!Flood_send} carries a globally monotone
+      [msg_id]; the {!Flood_recv} it produces at the destination records
+      that id as [send_id] plus the delivery's latency decomposition
+      (link transit, receiver CPU-queue wait, modeled processing cost).
+      Together they turn the trace into a cross-node causal DAG that
+      {!Report.critical_paths} walks.
+    - Transaction lifecycle events ([Tx_submit] → [Tx_flooded] →
+      [Tx_in_txset] → [Tx_externalized] → [Tx_applied], or [Tx_dropped]),
+      keyed by the lowercase-hex transaction hash, from which
+      {!Report.tx_lives} and {!Report.e2e_latency} derive per-payment
+      submit→apply latency (§7.3's end-to-end figure). *)
 
 type timeout_kind = [ `Nomination | `Ballot ]
+
+type drop_reason = [ `Duplicate | `Stale ]
+(** Why a queued transaction was discarded: resubmitted while already
+    pending, or its sequence number can no longer apply. *)
 
 type t =
   | Nominate_start of { slot : int }  (** herder triggered nomination *)
@@ -16,23 +34,43 @@ type t =
   | Confirm_prepare of { slot : int }  (** ballot protocol entered confirm *)
   | Externalize of { slot : int }
   | Timeout_fired of { slot : int; kind : timeout_kind }
-  | Flood_send of { kind : string; bytes : int; fanout : int }
-      (** one flood decision: [fanout] peer copies of a [bytes]-sized msg *)
-  | Flood_recv of { kind : string; bytes : int; src : int }
-      (** first delivery of a payload to this node *)
-  | Dedup_drop of { kind : string; src : int }
-      (** duplicate delivery suppressed by the flood dedup table *)
+  | Flood_send of { kind : string; bytes : int; fanout : int; msg_id : int }
+      (** one flood decision: [fanout] peer copies of a [bytes]-sized msg,
+          all tagged with the same monotone [msg_id] *)
+  | Flood_recv of {
+      kind : string;
+      bytes : int;
+      src : int;
+      send_id : int;  (** [msg_id] of the {!Flood_send} that produced this *)
+      link_s : float;  (** sampled link transit *)
+      wait_s : float;  (** receiver CPU-queue wait before processing *)
+      proc_s : float;  (** modeled per-message processing cost *)
+    }  (** first delivery of a payload to this node *)
+  | Dedup_drop of { kind : string; src : int; bytes : int }
+      (** duplicate delivery suppressed by the flood dedup table; [bytes]
+          is the wasted payload size (it still crossed the wire) *)
   | Apply_begin of { slot : int; txs : int; ops : int }
   | Apply_end of { slot : int; txs : int; ops : int }
   | Bucket_merge of { level : int; entries : int }
       (** a bucket-list level absorbed a batch/spill of [entries] entries *)
   | Span_begin of { name : string; slot : int }
   | Span_end of { name : string; slot : int; dur_s : float }
+  | Tx_submit of { tx : string }  (** client submitted at this node *)
+  | Tx_flooded of { tx : string }
+      (** this node first saw the transaction and flooded it onward *)
+  | Tx_in_txset of { tx : string; slot : int }
+      (** included in this node's nominated tx-set candidate for [slot] *)
+  | Tx_externalized of { tx : string; slot : int }
+      (** the slot whose externalized tx set contains the tx closed here *)
+  | Tx_applied of { tx : string; slot : int; ok : bool }
+      (** applied to the ledger ([ok] = success outcome) *)
+  | Tx_dropped of { tx : string; reason : drop_reason }
 
 val name : t -> string
-(** Stable dotted event name ("flood.send", "phase.externalize", ...). *)
+(** Stable dotted event name ("flood.send", "tx.applied", ...). *)
 
 val timeout_kind_name : timeout_kind -> string
+val drop_reason_name : drop_reason -> string
 
 val fields : t -> string
 (** Payload as a comma-prefixed JSON fragment; deterministic formatting. *)

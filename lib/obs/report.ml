@@ -115,29 +115,304 @@ let breakdown ?node ?apply_cost trace =
 
 (* ---- flood amplification (per node) ---- *)
 
-type flood = { sent_copies : int; received : int; dup_dropped : int; amplification : float }
+type flood = {
+  sent_copies : int;
+  received : int;
+  dup_dropped : int;
+  dup_bytes : int;
+  amplification : float;
+}
 
 let flood_stats trace =
-  let acc : (int, int * int * int) Hashtbl.t = Hashtbl.create 64 in
+  let acc : (int, int * int * int * int) Hashtbl.t = Hashtbl.create 64 in
   let bump node f =
-    let cur = Option.value ~default:(0, 0, 0) (Hashtbl.find_opt acc node) in
+    let cur = Option.value ~default:(0, 0, 0, 0) (Hashtbl.find_opt acc node) in
     Hashtbl.replace acc node (f cur)
   in
   Trace.iter trace (fun s ->
       match s.Trace.event with
       | Event.Flood_send { fanout; _ } ->
-          bump s.Trace.node (fun (a, b, c) -> (a + fanout, b, c))
-      | Event.Flood_recv _ -> bump s.Trace.node (fun (a, b, c) -> (a, b + 1, c))
-      | Event.Dedup_drop _ -> bump s.Trace.node (fun (a, b, c) -> (a, b, c + 1))
+          bump s.Trace.node (fun (a, b, c, d) -> (a + fanout, b, c, d))
+      | Event.Flood_recv _ -> bump s.Trace.node (fun (a, b, c, d) -> (a, b + 1, c, d))
+      | Event.Dedup_drop { bytes; _ } ->
+          bump s.Trace.node (fun (a, b, c, d) -> (a, b, c + 1, d + bytes))
       | _ -> ());
   Hashtbl.fold
-    (fun node (sent_copies, received, dup_dropped) l ->
+    (fun node (sent_copies, received, dup_dropped, dup_bytes) l ->
       let amplification =
         float_of_int (received + dup_dropped) /. float_of_int (max 1 received)
       in
-      (node, { sent_copies; received; dup_dropped; amplification }) :: l)
+      (node, { sent_copies; received; dup_dropped; dup_bytes; amplification }) :: l)
     acc []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* ---- causal DAG: critical path to externalization ---- *)
+
+type hop = {
+  msg_id : int;
+  hop_src : int;
+  hop_dst : int;
+  hop_kind : string;
+  sent_at : float;
+  recv_at : float;
+  hop_network_s : float;
+  hop_cpu_s : float;
+}
+
+type critical_path = {
+  cp_slot : int;
+  cp_node : int;
+  t_start : float;
+  t_externalize : float;
+  hops : hop list;
+  network_s : float;
+  timer_s : float;
+  cpu_s : float;
+  cp_total_s : float;
+}
+
+(* Per-delivery view of a Flood_recv, indexed for the backward walk. *)
+type recv_ix = { r_seq : int; r_time : float; r_send : int; r_link : float; r_kind : string }
+
+type send_ix = { s_seq : int; s_time : float; s_node : int }
+
+let causal_index trace =
+  let sends : (int, send_ix) Hashtbl.t = Hashtbl.create 1024 in
+  let recvs_by_node : (int, recv_ix list ref) Hashtbl.t = Hashtbl.create 64 in
+  Trace.iter trace (fun s ->
+      match s.Trace.event with
+      | Event.Flood_send { msg_id; _ } ->
+          if not (Hashtbl.mem sends msg_id) then
+            Hashtbl.add sends msg_id
+              { s_seq = s.Trace.seq; s_time = s.Trace.time; s_node = s.Trace.node }
+      | Event.Flood_recv { send_id; link_s; kind; _ } ->
+          let l =
+            match Hashtbl.find_opt recvs_by_node s.Trace.node with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add recvs_by_node s.Trace.node l;
+                l
+          in
+          l :=
+            { r_seq = s.Trace.seq; r_time = s.Trace.time; r_send = send_id; r_link = link_s; r_kind = kind }
+            :: !l
+      | _ -> ());
+  (* recvs arrive in ascending seq; keep them as arrays for binary search *)
+  let recv_arrays : (int, recv_ix array) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun node l -> Hashtbl.add recv_arrays node (Array.of_list (List.rev !l)))
+    recvs_by_node;
+  (sends, recv_arrays)
+
+(* Latest Flood_recv at [node] with seq < [before] (binary search on the
+   seq-ascending per-node array). *)
+let latest_recv_before recv_arrays node ~before =
+  match Hashtbl.find_opt recv_arrays node with
+  | None -> None
+  | Some arr ->
+      let n = Array.length arr in
+      if n = 0 || arr.(0).r_seq >= before then None
+      else begin
+        (* invariant: arr.(lo).r_seq < before <= arr.(hi).r_seq *)
+        let lo = ref 0 and hi = ref n in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if arr.(mid).r_seq < before then lo := mid else hi := mid
+        done;
+        Some arr.(!lo)
+      end
+
+(* Walk the message chain backwards from the externalize event: the latest
+   delivery before an event at a node is (by the synchronous handler
+   discipline) the message whose processing produced it; its send_id names
+   the exact Flood_send on the upstream node, where the walk continues.
+   Every interval of [t_start, t_externalize] is attributed to exactly one
+   of {network, timer, cpu}, and all segment endpoints are shared, so the
+   three sums telescope to (t_externalize - t_start) up to float rounding —
+   the ±1 µs accounting identity the tests pin. *)
+let walk_critical_path (sends, recv_arrays) ~node ~slot ~t0 ~ext_time ~ext_seq =
+  let network = ref 0.0 and timer = ref 0.0 and cpu = ref 0.0 in
+  let hops = ref [] in
+  let clip x = Float.max t0 x in
+  let rec walk cur_node cur_time cur_seq budget =
+    if cur_time > t0 && budget > 0 then
+      match latest_recv_before recv_arrays cur_node ~before:cur_seq with
+      | None ->
+          (* origin of the chain: local activity back to nomination start *)
+          timer := !timer +. (cur_time -. t0)
+      | Some r ->
+          (* local gap at cur_node between the delivery and the event it
+             eventually produced: the node was waiting on protocol timers *)
+          timer := !timer +. (cur_time -. clip r.r_time);
+          if r.r_time > t0 then begin
+            match Hashtbl.find_opt sends r.r_send with
+            | None ->
+                (* untagged send (e.g. a harness message): attribute the
+                   remainder to timer so the identity still holds *)
+                timer := !timer +. (r.r_time -. t0)
+            | Some s ->
+                (* hop: [s_time, s_time+link] on the wire, the rest is the
+                   receiver's modeled CPU (queue wait + processing) *)
+                let mid = clip (Float.min r.r_time (s.s_time +. r.r_link)) in
+                let sstart = clip s.s_time in
+                cpu := !cpu +. (r.r_time -. mid);
+                network := !network +. (mid -. sstart);
+                hops :=
+                  {
+                    msg_id = r.r_send;
+                    hop_src = s.s_node;
+                    hop_dst = cur_node;
+                    hop_kind = r.r_kind;
+                    sent_at = s.s_time;
+                    recv_at = r.r_time;
+                    hop_network_s = mid -. sstart;
+                    hop_cpu_s = r.r_time -. mid;
+                  }
+                  :: !hops;
+                walk s.s_node s.s_time s.s_seq (budget - 1)
+          end
+  in
+  walk node ext_time ext_seq 1_000_000;
+  {
+    cp_slot = slot;
+    cp_node = node;
+    t_start = t0;
+    t_externalize = ext_time;
+    hops = !hops;
+    network_s = !network;
+    timer_s = !timer;
+    cpu_s = !cpu;
+    cp_total_s = ext_time -. t0;
+  }
+
+let critical_paths ?(node = 0) trace =
+  let ix = causal_index trace in
+  let starts : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let exts : (int, float * int) Hashtbl.t = Hashtbl.create 64 in
+  Trace.iter trace (fun s ->
+      if s.Trace.node = node then
+        match s.Trace.event with
+        | Event.Nominate_start { slot } ->
+            if not (Hashtbl.mem starts slot) then Hashtbl.add starts slot s.Trace.time
+        | Event.Externalize { slot } ->
+            if not (Hashtbl.mem exts slot) then
+              Hashtbl.add exts slot (s.Trace.time, s.Trace.seq)
+        | _ -> ());
+  Hashtbl.fold
+    (fun slot (ext_time, ext_seq) acc ->
+      match Hashtbl.find_opt starts slot with
+      | Some t0 when ext_time >= t0 ->
+          walk_critical_path ix ~node ~slot ~t0 ~ext_time ~ext_seq :: acc
+      | _ -> acc)
+    exts []
+  |> List.sort (fun a b -> Int.compare a.cp_slot b.cp_slot)
+
+(* ---- transaction lifecycle (per tx hash) ---- *)
+
+type tx_life = {
+  tx : string;
+  submitted : float option;
+  first_flood : float option;
+  txset_slot : int option;
+  externalized : (int * float) option;
+  applied : float option;
+  dropped : bool;
+}
+
+let tx_lives trace =
+  let acc : (string, int * tx_life ref) Hashtbl.t = Hashtbl.create 1024 in
+  let get tx seq =
+    match Hashtbl.find_opt acc tx with
+    | Some (_, l) -> l
+    | None ->
+        let l =
+          ref
+            {
+              tx;
+              submitted = None;
+              first_flood = None;
+              txset_slot = None;
+              externalized = None;
+              applied = None;
+              dropped = false;
+            }
+        in
+        Hashtbl.add acc tx (seq, l);
+        l
+  in
+  Trace.iter trace (fun s ->
+      let t = s.Trace.time and seq = s.Trace.seq in
+      match s.Trace.event with
+      | Event.Tx_submit { tx } ->
+          let l = get tx seq in
+          if !l.submitted = None then l := { !l with submitted = Some t }
+      | Event.Tx_flooded { tx } ->
+          let l = get tx seq in
+          if !l.first_flood = None then l := { !l with first_flood = Some t }
+      | Event.Tx_in_txset { tx; slot } ->
+          let l = get tx seq in
+          if !l.txset_slot = None then l := { !l with txset_slot = Some slot }
+      | Event.Tx_externalized { tx; slot } ->
+          let l = get tx seq in
+          if !l.externalized = None then l := { !l with externalized = Some (slot, t) }
+      | Event.Tx_applied { tx; _ } ->
+          let l = get tx seq in
+          if !l.applied = None then l := { !l with applied = Some t }
+      | Event.Tx_dropped { tx; _ } ->
+          let l = get tx seq in
+          l := { !l with dropped = true }
+      | _ -> ());
+  Hashtbl.fold (fun _ (seq, l) acc -> (seq, !l) :: acc) acc []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+(* ---- end-to-end payment latency (§7.3's headline figure) ---- *)
+
+type e2e = {
+  n_submitted : int;
+  n_externalized : int;
+  n_applied : int;
+  n_dropped : int;
+  submit_to_externalize : quantiles;
+  submit_to_apply : quantiles;
+}
+
+let e2e_latency ?(apply_cost = default_apply_cost) trace =
+  (* first Apply_begin per slot gives the (txs, ops) the apply model needs *)
+  let slot_apply : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  Trace.iter trace (fun s ->
+      match s.Trace.event with
+      | Event.Apply_begin { slot; txs; ops } ->
+          if not (Hashtbl.mem slot_apply slot) then Hashtbl.add slot_apply slot (txs, ops)
+      | _ -> ());
+  let lives = tx_lives trace in
+  let submitted = List.filter (fun l -> l.submitted <> None) lives in
+  let ext_lat = ref [] and apply_lat = ref [] in
+  let n_externalized = ref 0 and n_applied = ref 0 and n_dropped = ref 0 in
+  List.iter
+    (fun l ->
+      if l.dropped then incr n_dropped;
+      match (l.submitted, l.externalized) with
+      | Some t_sub, Some (slot, t_ext) ->
+          incr n_externalized;
+          ext_lat := (t_ext -. t_sub) :: !ext_lat;
+          (match l.applied with
+          | Some t_app ->
+              incr n_applied;
+              let txs, ops = Option.value ~default:(0, 0) (Hashtbl.find_opt slot_apply slot) in
+              apply_lat := (t_app -. t_sub +. apply_cost ~txs ~ops) :: !apply_lat
+          | None -> ())
+      | _ -> ())
+    submitted;
+  {
+    n_submitted = List.length submitted;
+    n_externalized = !n_externalized;
+    n_applied = !n_applied;
+    n_dropped = !n_dropped;
+    submit_to_externalize = quantiles (List.rev !ext_lat);
+    submit_to_apply = quantiles (List.rev !apply_lat);
+  }
 
 (* ---- span pairing (handles nesting via a per-key stack) ---- *)
 
@@ -192,7 +467,23 @@ let phases_json ph =
 let flood_json fl =
   let one (node, f) =
     Printf.sprintf
-      {|{"node":%d,"sent_copies":%d,"received":%d,"dup_dropped":%d,"amplification":%.6f}|}
-      node f.sent_copies f.received f.dup_dropped f.amplification
+      {|{"node":%d,"sent_copies":%d,"received":%d,"dup_dropped":%d,"dup_bytes":%d,"amplification":%.6f}|}
+      node f.sent_copies f.received f.dup_dropped f.dup_bytes f.amplification
   in
   "[" ^ String.concat "," (List.map one fl) ^ "]"
+
+let critical_paths_json cps =
+  let one cp =
+    Printf.sprintf
+      {|{"slot":%d,"hops":%d,"network_ms":%.6f,"timer_ms":%.6f,"cpu_ms":%.6f,"total_ms":%.6f}|}
+      cp.cp_slot (List.length cp.hops) (ms cp.network_s) (ms cp.timer_s) (ms cp.cpu_s)
+      (ms cp.cp_total_s)
+  in
+  "[" ^ String.concat "," (List.map one cps) ^ "]"
+
+let e2e_json e =
+  Printf.sprintf
+    {|{"submitted":%d,"externalized":%d,"applied":%d,"dropped":%d,"submit_to_externalize":%s,"submit_to_apply":%s}|}
+    e.n_submitted e.n_externalized e.n_applied e.n_dropped
+    (quantiles_json e.submit_to_externalize)
+    (quantiles_json e.submit_to_apply)

@@ -46,11 +46,81 @@ type flood = {
   sent_copies : int;  (** per-peer copies pushed (sum of flood fanouts) *)
   received : int;  (** distinct payloads delivered *)
   dup_dropped : int;  (** duplicate deliveries suppressed *)
+  dup_bytes : int;  (** wasted bandwidth: payload bytes of suppressed dups *)
   amplification : float;  (** (received + dup_dropped) / received *)
 }
 
 val flood_stats : Trace.t -> (int * flood) list
 (** Per node id, sorted. *)
+
+(** {2 Causal critical path}
+
+    Every [Flood_send] carries a globally monotone message id and every
+    [Flood_recv] names the send that produced it, so the trace forms a
+    cross-node causal DAG.  [critical_paths] walks that DAG backwards from
+    each externalize event to nomination start, attributing every interval
+    of the slot's duration to exactly one of network transit, local timer
+    wait, or modeled CPU (receive-queue wait + processing).  All segment
+    endpoints are shared event timestamps, so
+    [network_s + timer_s + cpu_s = cp_total_s] up to float rounding
+    (well within 1 µs of simulated time). *)
+
+type hop = {
+  msg_id : int;
+  hop_src : int;
+  hop_dst : int;
+  hop_kind : string;  (** message kind (envelope/txset/tx) *)
+  sent_at : float;
+  recv_at : float;
+  hop_network_s : float;  (** wire transit portion of this hop *)
+  hop_cpu_s : float;  (** receiver queue wait + modeled processing *)
+}
+
+type critical_path = {
+  cp_slot : int;
+  cp_node : int;  (** the observing node the walk starts from *)
+  t_start : float;  (** nominate-start on [cp_node] *)
+  t_externalize : float;
+  hops : hop list;  (** causally ordered, earliest first *)
+  network_s : float;
+  timer_s : float;
+  cpu_s : float;
+  cp_total_s : float;  (** [t_externalize - t_start] *)
+}
+
+val critical_paths : ?node:int -> Trace.t -> critical_path list
+(** One path per slot [node] (default 0) both nominated and externalized,
+    sorted by slot. *)
+
+(** {2 Transaction lifecycle} *)
+
+type tx_life = {
+  tx : string;  (** hex tx hash *)
+  submitted : float option;  (** first [Tx_submit] *)
+  first_flood : float option;  (** first [Tx_flooded] anywhere *)
+  txset_slot : int option;  (** first slot whose candidate set held it *)
+  externalized : (int * float) option;  (** (slot, time) of consensus *)
+  applied : float option;
+  dropped : bool;  (** any [Tx_dropped] (duplicate or stale) *)
+}
+
+val tx_lives : Trace.t -> tx_life list
+(** One record per tx hash, in first-appearance order. *)
+
+type e2e = {
+  n_submitted : int;
+  n_externalized : int;
+  n_applied : int;
+  n_dropped : int;
+  submit_to_externalize : quantiles;
+  submit_to_apply : quantiles;
+      (** adds the slot's modeled apply cost on top of the trace timestamp
+          (sim-time application is instantaneous) *)
+}
+
+val e2e_latency : ?apply_cost:(txs:int -> ops:int -> float) -> Trace.t -> e2e
+(** End-to-end payment latency quantiles over all submitted transactions —
+    the §7.3 "five seconds from submission" figure. *)
 
 val spans : Trace.t -> (int * string * int * float * float) list
 (** Paired [Span_begin]/[Span_end] as (node, name, slot, t0, t1), in
@@ -62,3 +132,5 @@ val quantiles_json : quantiles -> string
 val breakdown_json : breakdown -> string
 val phases_json : phases list -> string
 val flood_json : (int * flood) list -> string
+val critical_paths_json : critical_path list -> string
+val e2e_json : e2e -> string

@@ -18,7 +18,10 @@ let now t = t.now ()
 
 let emit t ev =
   match t.trace with
-  | Some tr when t.enabled -> Trace.record tr ~time:(t.now ()) ~node:t.node ev
+  | Some tr when t.enabled ->
+      if not (Trace.try_record tr ~time:(t.now ()) ~node:t.node ev) then
+        (* cold path: only taken once the trace hit its capacity bound *)
+        Registry.incr (Registry.counter t.metrics "obs.trace.dropped")
   | _ -> ()
 
 let incr t name = if t.enabled then Registry.incr (Registry.counter t.metrics name)

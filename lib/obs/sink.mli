@@ -22,7 +22,9 @@ val metrics : t -> Registry.t
 val now : t -> float
 
 val emit : t -> Event.t -> unit
-(** Stamp with node and current time, append to the trace (if any). *)
+(** Stamp with node and current time, append to the trace (if any).  When
+    the trace is at capacity the event is discarded and the node's
+    [obs.trace.dropped] counter incremented instead. *)
 
 val incr : t -> string -> unit
 val add : t -> string -> int -> unit

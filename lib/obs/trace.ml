@@ -1,14 +1,28 @@
 type stamped = { seq : int; time : float; node : int; event : Event.t }
 
-type t = { mutable rev_events : stamped list; mutable n : int }
+type t = {
+  mutable rev_events : stamped list;
+  mutable n : int;
+  capacity : int option;
+  mutable dropped : int;
+}
 
-let create () = { rev_events = []; n = 0 }
+let create ?capacity () = { rev_events = []; n = 0; capacity; dropped = 0 }
 
-let record t ~time ~node event =
-  t.rev_events <- { seq = t.n; time; node; event } :: t.rev_events;
-  t.n <- t.n + 1
+let try_record t ~time ~node event =
+  match t.capacity with
+  | Some cap when t.n >= cap ->
+      t.dropped <- t.dropped + 1;
+      false
+  | _ ->
+      t.rev_events <- { seq = t.n; time; node; event } :: t.rev_events;
+      t.n <- t.n + 1;
+      true
+
+let record t ~time ~node event = ignore (try_record t ~time ~node event)
 
 let length t = t.n
+let dropped t = t.dropped
 let events t = List.rev t.rev_events
 let iter t f = List.iter f (events t)
 

@@ -3,17 +3,30 @@
 
     Because the simulator is deterministic, two runs with the same seed
     produce byte-identical {!to_jsonl} output — the property the
-    reproducibility tests and [BENCH_phases.json] rely on. *)
+    reproducibility tests and [BENCH_*.json] artifacts rely on.
+
+    A trace may be created with a [capacity]: once full, further events are
+    counted in {!dropped} instead of retained, so a long simulator run
+    cannot grow the trace without bound.  {!Sink.emit} surfaces drops as
+    the [obs.trace.dropped] counter in the emitting node's registry. *)
 
 type stamped = { seq : int; time : float; node : int; event : Event.t }
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** Without [capacity] the trace is unbounded (the default). *)
 
 val record : t -> time:float -> node:int -> Event.t -> unit
 
+val try_record : t -> time:float -> node:int -> Event.t -> bool
+(** [false] when the event was discarded because the trace is at capacity. *)
+
 val length : t -> int
+(** Events retained (excludes dropped ones). *)
+
+val dropped : t -> int
+(** Events discarded because the trace was at capacity. *)
 
 val events : t -> stamped list
 (** In record order (chronological: the engine fires events in time order). *)

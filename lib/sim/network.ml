@@ -7,6 +7,14 @@ type stats = {
   bytes_received : int;
 }
 
+type delivery = {
+  msg_id : int;
+  sent_at : float;
+  link_s : float;
+  wait_s : float;
+  proc_s : float;
+}
+
 (* Per-node accounting lives in a Stellar_obs registry ("overlay.*" names)
    so network traffic and protocol metrics share one namespace; the [stats]
    accessor below is a thin snapshot over it.  Counter handles are cached so
@@ -25,12 +33,13 @@ type 'msg t = {
   latency : Latency.t;
   processing : int -> float;
   busy_until : float array;  (* receiver CPU queue *)
-  handlers : (src:int -> 'msg -> unit) option array;
+  handlers : (src:int -> info:delivery -> 'msg -> unit) option array;
   down : bool array;
   node_obs : node_obs array;
   mutable partition : int -> int;
   mutable loss_rate : float;
   mutable total : int;
+  mutable next_msg_id : int;
 }
 
 let node_obs_of_sink sink =
@@ -65,6 +74,7 @@ let create ~engine ~rng ~n ~latency ?(processing = fun _ -> 0.0) ?obs () =
     partition = (fun _ -> 0);
     loss_rate = 0.0;
     total = 0;
+    next_msg_id = 0;
   }
 
 let size t = Array.length t.handlers
@@ -74,6 +84,10 @@ let set_down t i b = t.down.(i) <- b
 let is_down t i = t.down.(i)
 let set_partition t f = t.partition <- f
 let set_loss_rate t r = t.loss_rate <- r
+
+let alloc_msg_id t =
+  t.next_msg_id <- t.next_msg_id + 1;
+  t.next_msg_id
 
 let registry t i = Obs.Sink.metrics t.node_obs.(i).sink
 
@@ -88,7 +102,7 @@ let stats t i =
 
 let total_messages t = t.total
 
-let send t ~src ~dst ~size:bytes msg =
+let send t ~src ~dst ~size:bytes ?(msg_id = -1) msg =
   if not t.down.(src) then begin
     let s = t.node_obs.(src) in
     Obs.Registry.incr s.c_msgs_sent;
@@ -99,8 +113,9 @@ let send t ~src ~dst ~size:bytes msg =
       || (t.loss_rate > 0.0 && Rng.float t.rng 1.0 < t.loss_rate)
     in
     if not dropped then begin
+      let sent_at = Engine.now t.engine in
       let link = if src = dst then 0.0 else Latency.sample t.latency t.rng in
-      let deliver () =
+      let deliver info () =
         (* Down-ness and handlers are re-checked at delivery time: a node may
            crash while messages are in flight. *)
         if not t.down.(dst) then
@@ -110,7 +125,7 @@ let send t ~src ~dst ~size:bytes msg =
               let r = t.node_obs.(dst) in
               Obs.Registry.incr r.c_msgs_received;
               Obs.Registry.add r.c_bytes_received bytes;
-              h ~src msg
+              h ~src ~info msg
       in
       (* The receiver's CPU queue is FIFO in ARRIVAL order: the busy-time
          accounting runs when the message arrives (engine events fire in
@@ -119,10 +134,15 @@ let send t ~src ~dst ~size:bytes msg =
       let on_arrival () =
         let now = Engine.now t.engine in
         let start = Float.max now t.busy_until.(dst) in
-        let finish = start +. t.processing bytes in
+        let proc = t.processing bytes in
+        let finish = start +. proc in
         t.busy_until.(dst) <- finish;
-        if finish > now then ignore (Engine.schedule t.engine ~delay:(finish -. now) deliver)
-        else deliver ()
+        let info =
+          { msg_id; sent_at; link_s = link; wait_s = start -. now; proc_s = proc }
+        in
+        if finish > now then
+          ignore (Engine.schedule t.engine ~delay:(finish -. now) (deliver info))
+        else deliver info ()
       in
       ignore (Engine.schedule t.engine ~delay:link on_arrival)
     end

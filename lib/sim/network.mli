@@ -15,6 +15,18 @@ type stats = {
 }
 (** Snapshot of one node's traffic counters (see {!stats}). *)
 
+type delivery = {
+  msg_id : int;  (** sender's tag from {!send}[ ?msg_id]; -1 when untagged *)
+  sent_at : float;  (** simulated time {!send} was called *)
+  link_s : float;  (** sampled link transit *)
+  wait_s : float;  (** time spent queued behind the receiver's busy CPU *)
+  proc_s : float;  (** modeled per-message processing cost *)
+}
+(** Causal metadata handed to the receive handler with every delivery:
+    delivery time = [sent_at + link_s + wait_s + proc_s].  The [msg_id]
+    lets tracing link a [Flood_recv] back to the exact [Flood_send] that
+    produced it (the cross-node causal DAG of the observability layer). *)
+
 val create :
   engine:Engine.t ->
   rng:Rng.t ->
@@ -39,11 +51,17 @@ val create :
 val size : 'msg t -> int
 val engine : 'msg t -> Engine.t
 
-val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+val set_handler : 'msg t -> int -> (src:int -> info:delivery -> 'msg -> unit) -> unit
 
-val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
+val send : 'msg t -> src:int -> dst:int -> size:int -> ?msg_id:int -> 'msg -> unit
 (** Queue a message for delivery.  [size] is the serialized size in bytes,
-    used only for accounting.  Self-sends are delivered with zero latency. *)
+    used only for accounting.  Self-sends are delivered with zero latency.
+    [msg_id] (from {!alloc_msg_id}) tags the delivery's {!delivery.msg_id}
+    so the receiver can attribute it to the send that produced it. *)
+
+val alloc_msg_id : 'msg t -> int
+(** Next globally monotone message id (1, 2, ...).  One id per flood
+    decision: all fanout copies of the same broadcast share it. *)
 
 val set_down : 'msg t -> int -> bool -> unit
 (** A down node neither sends nor receives. *)

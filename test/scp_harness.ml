@@ -64,7 +64,7 @@ let make ?(latency = Stellar_sim.Latency.Constant 0.005) ?(seed = 42)
   in
   Array.iteri
     (fun i node ->
-      Stellar_sim.Network.set_handler network i (fun ~src:_ env ->
+      Stellar_sim.Network.set_handler network i (fun ~src:_ ~info:_ env ->
           ignore (Protocol.receive_envelope node.protocol env)))
     nodes;
   { engine; network; nodes; ids }

@@ -128,7 +128,7 @@ let test_network_stats_wrapper () =
   let net =
     Stellar_sim.Network.create ~engine ~rng ~n:2 ~latency:Stellar_sim.Latency.datacenter ()
   in
-  Stellar_sim.Network.set_handler net 1 (fun ~src:_ _ -> ());
+  Stellar_sim.Network.set_handler net 1 (fun ~src:_ ~info:_ _ -> ());
   Stellar_sim.Network.send net ~src:0 ~dst:1 ~size:100 "hello";
   Stellar_sim.Network.send net ~src:0 ~dst:1 ~size:50 "again";
   Stellar_sim.Engine.run engine;
@@ -210,6 +210,163 @@ let test_flood_amplification () =
         (int_of_float (f.amplification *. float_of_int f.received +. 0.5)))
     fl
 
+(* ---- causal tracing: flood DAG, tx lifecycle, critical path ---- *)
+
+(* one shared observed run for the causal-section tests *)
+let causal_trace =
+  lazy
+    (let r = observed_run 9 in
+     (r, Obs.Collector.trace (Option.get r.Stellar_node.Scenario.telemetry)))
+
+(* Every delivery names the send that produced it: send ids are unique per
+   Flood_send, every Flood_recv's send_id resolves to exactly one of them,
+   the send precedes the recv in time, and the payload sizes agree. *)
+let test_causal_pairing () =
+  let _, trace = Lazy.force causal_trace in
+  let sends = Hashtbl.create 1024 in
+  let n_recv = ref 0 in
+  Obs.Trace.iter trace (fun s ->
+      match s.Obs.Trace.event with
+      | Obs.Event.Flood_send { msg_id; bytes; _ } ->
+          Alcotest.(check bool) "msg ids tagged" true (msg_id >= 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "msg id %d unique" msg_id)
+            false (Hashtbl.mem sends msg_id);
+          Hashtbl.add sends msg_id (s.Obs.Trace.time, bytes)
+      | _ -> ());
+  Obs.Trace.iter trace (fun s ->
+      match s.Obs.Trace.event with
+      | Obs.Event.Flood_recv { send_id; bytes; link_s; wait_s; proc_s; _ } ->
+          incr n_recv;
+          (match Hashtbl.find_opt sends send_id with
+          | None -> Alcotest.failf "recv names unknown send id %d" send_id
+          | Some (t_send, b_send) ->
+              Alcotest.(check bool) "send before recv" true (t_send <= s.Obs.Trace.time);
+              Alcotest.(check int) "payload bytes match" b_send bytes;
+              (* delivery decomposition reconstructs the trace timestamp *)
+              Alcotest.(check (float 1e-9)) "recv time = send + link + wait + proc"
+                (t_send +. link_s +. wait_s +. proc_s)
+                s.Obs.Trace.time)
+      | _ -> ());
+  Alcotest.(check bool) "deliveries observed" true (!n_recv > 0)
+
+(* Lifecycle events for each tx appear in causal order, and the scenario's
+   own counters corroborate the trace-derived ones. *)
+let test_tx_lifecycle () =
+  let r, trace = Lazy.force causal_trace in
+  let lives = Obs.Report.tx_lives trace in
+  let e2e = Obs.Report.e2e_latency trace in
+  Alcotest.(check int) "every submitted tx traced"
+    r.Stellar_node.Scenario.txs_submitted e2e.Obs.Report.n_submitted;
+  Alcotest.(check int) "every applied tx traced" r.Stellar_node.Scenario.txs_applied
+    e2e.Obs.Report.n_applied;
+  Alcotest.(check bool) "some txs externalized" true (e2e.Obs.Report.n_externalized > 0);
+  List.iter
+    (fun l ->
+      let open Obs.Report in
+      match l.submitted with
+      | None -> ()
+      | Some t_sub ->
+          (match l.first_flood with
+          | Some t_fl -> Alcotest.(check bool) "submit <= flood" true (t_sub <= t_fl)
+          | None -> ());
+          (match l.externalized with
+          | Some (_, t_ext) ->
+              Alcotest.(check bool) "submit <= externalize" true (t_sub <= t_ext);
+              (match l.applied with
+              | Some t_app ->
+                  Alcotest.(check bool) "externalize <= apply" true (t_ext <= t_app)
+              | None -> ())
+          | None -> ()))
+    lives
+
+(* The acceptance criterion: per externalized slot, the critical-path
+   attribution (network + timer + cpu) equals the nominate-start →
+   externalize duration to within 1 µs of simulated time. *)
+let test_critical_path_attribution () =
+  let r, trace = Lazy.force causal_trace in
+  let cps = Obs.Report.critical_paths trace in
+  Alcotest.(check bool) "paths for most closed ledgers" true
+    (List.length cps >= r.Stellar_node.Scenario.ledgers_closed - 1);
+  List.iter
+    (fun cp ->
+      let open Obs.Report in
+      Alcotest.(check bool) "segments non-negative" true
+        (cp.network_s >= 0.0 && cp.timer_s >= 0.0 && cp.cpu_s >= 0.0);
+      Alcotest.(check bool) "path has hops or pure-local slot" true
+        (cp.hops <> [] || cp.cp_total_s < 0.1);
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d: attribution sums to duration (1us)" cp.cp_slot)
+        true
+        (Float.abs (cp.network_s +. cp.timer_s +. cp.cpu_s -. cp.cp_total_s) < 1e-6);
+      Alcotest.(check (float 1e-9)) "total = externalize - start"
+        (cp.t_externalize -. cp.t_start) cp.cp_total_s;
+      (* hops are causally ordered and intra-slot *)
+      ignore
+        (List.fold_left
+           (fun prev h ->
+             Alcotest.(check bool) "hop send <= recv" true (h.sent_at <= h.recv_at);
+             Alcotest.(check bool) "hops causally ordered" true (prev <= h.recv_at);
+             h.recv_at)
+           neg_infinity cp.hops))
+    cps
+
+(* The fig-e2e contract: e2e + critical-path JSON byte-identical across two
+   same-seed runs. *)
+let test_e2e_deterministic () =
+  let json seed =
+    let r = observed_run seed in
+    let tr = Obs.Collector.trace (Option.get r.Stellar_node.Scenario.telemetry) in
+    Obs.Report.e2e_json (Obs.Report.e2e_latency tr)
+    ^ Obs.Report.critical_paths_json (Obs.Report.critical_paths tr)
+  in
+  let j1 = json 9 and j2 = json 9 in
+  Alcotest.(check bool) "non-empty" true (String.length j1 > 60);
+  Alcotest.(check string) "e2e + critical path byte-identical" j1 j2
+
+(* Bounded trace memory (satellite): events past the capacity are dropped
+   and counted, never silently lost. *)
+let test_trace_capacity () =
+  let clock = ref 0.0 in
+  let trace = Obs.Trace.create ~capacity:3 () in
+  let reg = Obs.Registry.create () in
+  let sink = Obs.Sink.make ~trace ~node:0 ~now:(fun () -> !clock) reg in
+  for slot = 1 to 5 do
+    clock := float_of_int slot;
+    Obs.Sink.emit sink (Obs.Event.Externalize { slot })
+  done;
+  Alcotest.(check int) "capacity respected" 3 (Obs.Trace.length trace);
+  Alcotest.(check int) "drops counted on trace" 2 (Obs.Trace.dropped trace);
+  Alcotest.(check int) "drops exported as metric" 2
+    (Obs.Registry.counter_value reg "obs.trace.dropped");
+  (* the retained prefix is the earliest events, untouched *)
+  match Obs.Trace.events trace with
+  | [ e1; _; e3 ] ->
+      Alcotest.(check (float 1e-9)) "first kept" 1.0 e1.Obs.Trace.time;
+      Alcotest.(check (float 1e-9)) "third kept" 3.0 e3.Obs.Trace.time
+  | l -> Alcotest.failf "expected 3 events, got %d" (List.length l)
+
+(* Dedup drops carry payload bytes (satellite): wasted bandwidth is
+   reported in bytes and corroborated by the flood.dup_bytes counter. *)
+let test_dedup_bytes () =
+  let r, trace = Lazy.force causal_trace in
+  let fl = Obs.Report.flood_stats trace in
+  let total_dup_bytes =
+    List.fold_left (fun a (_, f) -> a + f.Obs.Report.dup_bytes) 0 fl
+  in
+  Alcotest.(check bool) "duplicates observed" true (total_dup_bytes > 0);
+  List.iter
+    (fun (_, f) ->
+      let open Obs.Report in
+      Alcotest.(check bool) "bytes iff drops" true ((f.dup_bytes > 0) = (f.dup_dropped > 0)))
+    fl;
+  let agg =
+    Obs.Collector.aggregate (Option.get r.Stellar_node.Scenario.telemetry)
+  in
+  Alcotest.(check int) "trace agrees with flood.dup_bytes counter"
+    (Obs.Registry.counter_value agg "flood.dup_bytes")
+    total_dup_bytes
+
 let () =
   Alcotest.run "obs"
     [
@@ -233,5 +390,15 @@ let () =
           Alcotest.test_case "trace byte-identical" `Quick test_trace_deterministic;
           Alcotest.test_case "phase breakdown sane" `Quick test_trace_phases_sane;
           Alcotest.test_case "flood amplification" `Quick test_flood_amplification;
+        ] );
+      ( "causal",
+        [
+          Alcotest.test_case "flood send/recv pairing" `Quick test_causal_pairing;
+          Alcotest.test_case "tx lifecycle ordering" `Quick test_tx_lifecycle;
+          Alcotest.test_case "critical-path attribution" `Quick
+            test_critical_path_attribution;
+          Alcotest.test_case "e2e report deterministic" `Quick test_e2e_deterministic;
+          Alcotest.test_case "trace capacity bound" `Quick test_trace_capacity;
+          Alcotest.test_case "dedup wasted bytes" `Quick test_dedup_bytes;
         ] );
     ]

@@ -152,7 +152,7 @@ let network_tests =
     test_case "delivers with latency" `Quick (fun () ->
         let engine, net = setup 2 in
         let got = ref None in
-        Network.set_handler net 1 (fun ~src msg -> got := Some (src, msg, Engine.now engine));
+        Network.set_handler net 1 (fun ~src ~info:_ msg -> got := Some (src, msg, Engine.now engine));
         Network.send net ~src:0 ~dst:1 ~size:100 "hello";
         Engine.run engine;
         match !got with
@@ -164,7 +164,7 @@ let network_tests =
     test_case "down receiver drops" `Quick (fun () ->
         let engine, net = setup 2 in
         let got = ref false in
-        Network.set_handler net 1 (fun ~src:_ _ -> got := true);
+        Network.set_handler net 1 (fun ~src:_ ~info:_ _ -> got := true);
         Network.set_down net 1 true;
         Network.send net ~src:0 ~dst:1 ~size:10 "x";
         Engine.run engine;
@@ -172,7 +172,7 @@ let network_tests =
     test_case "down sender drops" `Quick (fun () ->
         let engine, net = setup 2 in
         let got = ref false in
-        Network.set_handler net 1 (fun ~src:_ _ -> got := true);
+        Network.set_handler net 1 (fun ~src:_ ~info:_ _ -> got := true);
         Network.set_down net 0 true;
         Network.send net ~src:0 ~dst:1 ~size:10 "x";
         Engine.run engine;
@@ -180,7 +180,7 @@ let network_tests =
     test_case "crash while in flight drops" `Quick (fun () ->
         let engine, net = setup 2 in
         let got = ref false in
-        Network.set_handler net 1 (fun ~src:_ _ -> got := true);
+        Network.set_handler net 1 (fun ~src:_ ~info:_ _ -> got := true);
         Network.send net ~src:0 ~dst:1 ~size:10 "x";
         ignore (Engine.schedule engine ~delay:0.005 (fun () -> Network.set_down net 1 true));
         Engine.run engine;
@@ -189,7 +189,7 @@ let network_tests =
         let engine, net = setup 3 in
         let got = ref [] in
         for i = 0 to 2 do
-          Network.set_handler net i (fun ~src msg -> got := (src, i, msg) :: !got)
+          Network.set_handler net i (fun ~src ~info:_ msg -> got := (src, i, msg) :: !got)
         done;
         Network.set_partition net (fun i -> if i < 2 then 0 else 1);
         Network.send net ~src:0 ~dst:1 ~size:1 "ok";
@@ -198,7 +198,7 @@ let network_tests =
         check int "one delivery" 1 (List.length !got));
     test_case "stats count bytes" `Quick (fun () ->
         let engine, net = setup 2 in
-        Network.set_handler net 1 (fun ~src:_ _ -> ());
+        Network.set_handler net 1 (fun ~src:_ ~info:_ _ -> ());
         Network.send net ~src:0 ~dst:1 ~size:123 "m";
         Engine.run engine;
         check int "sent" 123 (Network.stats net 0).Network.bytes_sent;
@@ -206,7 +206,7 @@ let network_tests =
     test_case "loss rate drops roughly the right fraction" `Quick (fun () ->
         let engine, net = setup 2 in
         let got = ref 0 in
-        Network.set_handler net 1 (fun ~src:_ _ -> incr got);
+        Network.set_handler net 1 (fun ~src:_ ~info:_ _ -> incr got);
         Network.set_loss_rate net 0.5;
         for _ = 1 to 1000 do
           Network.send net ~src:0 ~dst:1 ~size:1 "m"
