@@ -18,6 +18,7 @@ let experiments =
     ("tab-resources", Exp_resources.run);
     ("fig12-phases", Exp_phases.run);
     ("fig-e2e", Exp_e2e.run);
+    ("fig-liveness", Exp_faults.run);
     ("tab-qic", Exp_quorum.run);
     ("abl-baseline", Exp_baseline.run);
     ("abl-crypto", Micro.run);

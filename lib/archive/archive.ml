@@ -86,10 +86,14 @@ let catchup t =
           ~protocol_version:chk_header.Header.protocol_version
           ~fee_pool:chk_header.Header.fee_pool ~id_pool:chk_header.Header.id_pool entries
       in
-      (* replay forward to the tip *)
+      (* replay forward to the tip, folding each ledger's changes into the
+         bucket list exactly as the herder did when it closed them — the
+         level structure (not just the live entries) feeds the snapshot
+         hash, so a catching-up node must reproduce it to agree with the
+         network's future headers *)
       let tip = Option.value ~default:seq t.latest in
-      let rec replay state acc n =
-        if n > tip then Ok (state, List.rev acc)
+      let rec replay state buckets acc n =
+        if n > tip then Ok (state, buckets, List.rev acc)
         else
           let* h =
             Option.to_result ~none:(Printf.sprintf "missing header %d" n) (header t n)
@@ -105,10 +109,21 @@ let catchup t =
               ~base_reserve:h.Header.base_reserve ~protocol_version:h.Header.protocol_version
               state
           in
-          let state, _ = State.take_dirty state in
-          replay state (h :: acc) (n + 1)
+          let state, dirty = State.take_dirty state in
+          let batch =
+            List.map
+              (fun key -> { Stellar_bucket.Bucket.key; entry = State.lookup state key })
+              dirty
+          in
+          let buckets = Stellar_bucket.Bucket_list.add_batch buckets batch in
+          let* () =
+            if String.equal (Stellar_bucket.Bucket_list.hash buckets) h.Header.snapshot_hash
+            then Ok ()
+            else Error (Printf.sprintf "replayed snapshot hash mismatch at ledger %d" n)
+          in
+          replay state buckets (h :: acc) (n + 1)
       in
-      let* state, replayed = replay state [] (seq + 1) in
+      let* state, buckets, replayed = replay state chk_buckets [] (seq + 1) in
       (* collect the full chain back to the earliest archived header *)
       let rec back acc n =
         match header t n with Some h -> back (h :: acc) (n - 1) | None -> acc
@@ -117,7 +132,7 @@ let catchup t =
       let* () =
         if Header.verify_chain chain then Ok () else Error "header chain broken"
       in
-      Ok (state, chain)
+      Ok (state, buckets, chain)
 
 let size_bytes t = t.archived_bytes
 

@@ -36,12 +36,18 @@ val latest_checkpoint : t -> checkpoint option
 val checkpoint_count : t -> int
 
 val catchup :
-  t -> (Stellar_ledger.State.t * Stellar_ledger.Header.t list, string) result
+  t ->
+  ( Stellar_ledger.State.t * Stellar_bucket.Bucket_list.t * Stellar_ledger.Header.t list,
+    string )
+  result
 (** Bootstrap a new node: rebuild the ledger state from the latest
     checkpoint's buckets, verify it against the header's snapshot hash, then
-    replay the archived transaction sets up to the tip, verifying the header
-    chain along the way.  Returns the state at the tip and the full header
-    chain (oldest first). *)
+    replay the archived transaction sets up to the tip, folding each
+    ledger's changes into the bucket list and checking every header's
+    snapshot hash and chain link along the way.  Returns the state, the
+    bucket list at the tip (level structure identical to a node that closed
+    those ledgers live — required to agree on future snapshot hashes), and
+    the full header chain (oldest first). *)
 
 val size_bytes : t -> int
 (** Exact archived volume: the XDR-encoded bytes of every published header,

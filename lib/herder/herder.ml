@@ -439,3 +439,11 @@ let help_straggler t ~slot =
     (envs, tx_sets)
   end
   else ([], [])
+
+(* Everything this node would currently assert about the in-flight slot and
+   the one it just closed — what a (simulated) Byzantine re-flooder blasts
+   at the network over and over. *)
+let recent_envelopes t =
+  let seq = State.ledger_seq t.state in
+  Scp.Protocol.latest_envelopes t.scp ~slot:(seq + 1)
+  @ Scp.Protocol.latest_envelopes t.scp ~slot:seq

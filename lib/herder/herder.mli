@@ -91,6 +91,10 @@ val receive_envelope : t -> Scp.Types.envelope -> unit
 
 val tx_set : t -> string -> Tx_set.t option
 
+val recent_envelopes : t -> Scp.Types.envelope list
+(** This node's latest envelopes for the in-flight slot and the one just
+    closed — the payload a fault-injected Byzantine re-flooder rebroadcasts. *)
+
 val help_straggler : t -> slot:int -> Scp.Types.envelope list * Tx_set.t list
 (** Envelopes (and the transaction sets their externalized values need) to
     send a peer that is still working on an already-closed slot — the fix

@@ -1,0 +1,79 @@
+type event =
+  | Crash of { node : int; at : float }
+  | Restart of { node : int; at : float }
+  | Partition of { at : float; groups : (int * int) list }
+  | Heal of { at : float }
+  | Loss of { rate : float; from_ : float; until_ : float }
+  | Reflood of { node : int; at : float; copies : int }
+
+type schedule = event list
+
+let time_of = function
+  | Crash { at; _ } | Restart { at; _ } | Partition { at; _ } | Heal { at }
+  | Reflood { at; _ } ->
+      at
+  | Loss { from_; _ } -> from_
+
+let validate ~n_nodes schedule =
+  let in_range node = node >= 0 && node < n_nodes in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  (* structural checks per event *)
+  let rec check_events = function
+    | [] -> Ok ()
+    | Crash { node; at } :: rest ->
+        if not (in_range node) then err "crash: node %d out of range" node
+        else if at < 0.0 then err "crash: negative time %g" at
+        else check_events rest
+    | Restart { node; at } :: rest ->
+        if not (in_range node) then err "restart: node %d out of range" node
+        else if at < 0.0 then err "restart: negative time %g" at
+        else check_events rest
+    | Partition { at; groups } :: rest ->
+        if at < 0.0 then err "partition: negative time %g" at
+        else if List.length groups <> n_nodes then
+          err "partition: %d group assignments for %d nodes" (List.length groups) n_nodes
+        else if List.exists (fun (node, _) -> not (in_range node)) groups then
+          err "partition: node out of range"
+        else if
+          List.sort_uniq compare (List.map fst groups) |> List.length <> n_nodes
+        then err "partition: duplicate node in group assignment"
+        else check_events rest
+    | Heal { at } :: rest ->
+        if at < 0.0 then err "heal: negative time %g" at else check_events rest
+    | Loss { rate; from_; until_ } :: rest ->
+        if rate < 0.0 || rate > 1.0 then err "loss: rate %g outside [0,1]" rate
+        else if from_ < 0.0 then err "loss: negative start %g" from_
+        else if until_ <= from_ then err "loss: empty window [%g,%g]" from_ until_
+        else check_events rest
+    | Reflood { node; at; copies } :: rest ->
+        if not (in_range node) then err "reflood: node %d out of range" node
+        else if at < 0.0 then err "reflood: negative time %g" at
+        else if copies <= 0 then err "reflood: copies must be positive"
+        else check_events rest
+  in
+  (* per-node crash/restart alternation, in time order: a restart must follow
+     a crash of the same node, and a crashed node must not crash again *)
+  let check_alternation () =
+    let down = Array.make n_nodes false in
+    let ordered =
+      List.stable_sort (fun a b -> compare (time_of a) (time_of b)) schedule
+    in
+    let rec go = function
+      | [] -> Ok ()
+      | Crash { node; at } :: rest ->
+          if down.(node) then err "crash: node %d already down at %g" node at
+          else begin
+            down.(node) <- true;
+            go rest
+          end
+      | Restart { node; at } :: rest ->
+          if not down.(node) then err "restart: node %d not down at %g" node at
+          else begin
+            down.(node) <- false;
+            go rest
+          end
+      | _ :: rest -> go rest
+    in
+    go ordered
+  in
+  match check_events schedule with Ok () -> check_alternation () | Error _ as e -> e

@@ -19,7 +19,16 @@ let xdr =
       | 2 -> Tx_msg (Stellar_ledger.Tx.signed_xdr.Xdr.read r)
       | _ -> raise (Xdr.Error "Message: bad discriminant"))
 
-let encode m = Xdr.encode xdr m
+(* Global encode counter: the flood path is supposed to serialize each
+   message exactly once (encode → hash for dedup → same bytes on the wire),
+   and the regression test pins that invariant here. *)
+let encode_calls = ref 0
+let encode_count () = !encode_calls
+
+let encode m =
+  incr encode_calls;
+  Xdr.encode xdr m
+
 let decode s = Xdr.decode xdr s
 
 let size m = Xdr.encoded_length xdr m

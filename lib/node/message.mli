@@ -13,6 +13,11 @@ val xdr : t Stellar_xdr.Xdr.codec
 val encode : t -> string
 (** Canonical XDR bytes of the flood wrapper. *)
 
+val encode_count : unit -> int
+(** Process-wide number of {!encode} calls so far.  The flood path
+    serializes each message exactly once (the same bytes feed the dedup
+    hash and the wire); tests diff this counter to pin that invariant. *)
+
 val decode : string -> (t, string) result
 
 val size : t -> int

@@ -13,6 +13,7 @@ type params = {
   warmup_ledgers : int;
   observe : bool;
   trace_capacity : int option;
+  faults : Fault.schedule;
 }
 
 let default ~spec =
@@ -29,6 +30,7 @@ let default ~spec =
     warmup_ledgers = 2;
     observe = false;
     trace_capacity = None;
+    faults = [];
   }
 
 type report = {
@@ -50,6 +52,8 @@ type report = {
   bytes_in_per_second : float;
   bytes_out_per_second : float;
   diverged : bool;
+  chains : (int * string list) list;
+  converged : bool;
   wall_seconds : float;
   final_ledger_seq : int;
   telemetry : Stellar_obs.Collector.t option;
@@ -59,6 +63,9 @@ let scheme =
   (module Stellar_crypto.Sim_sig : Stellar_crypto.Sig_intf.SCHEME with type secret = string)
 
 let run p =
+  (match Fault.validate ~n_nodes:p.spec.Topology.n_nodes p.faults with
+  | Ok () -> ()
+  | Error e -> failwith ("Scenario: invalid fault schedule: " ^ e));
   let wall0 = Unix.gettimeofday () in
   let engine = Stellar_sim.Engine.create () in
   let rng = Stellar_sim.Rng.create ~seed:p.seed in
@@ -92,6 +99,34 @@ let run p =
   let ledger_log = ref [] in
   let nom_timeouts = ref 0 and ballot_timeouts = ref 0 in
   let timeouts_per_ledger = ref [] in
+  (* Fault runs keep a history archive fed from node 0's closes, so a
+     restarted validator has a §5.4 checkpoint to bootstrap from.  A short
+     checkpoint frequency keeps the replay tail small at simulation scale. *)
+  let archive =
+    if p.faults = [] then None
+    else Some (Stellar_archive.Archive.create ~checkpoint_frequency:4 ())
+  in
+  let v0 = ref None in
+  let record_in_archive stats =
+    match (archive, !v0) with
+    | Some a, Some v ->
+        let header = stats.Stellar_herder.Herder.header in
+        (* in-sequence guard: if node 0 itself was down for some closes, the
+           archive just stops at the gap rather than tripping the
+           append-only order check *)
+        let expected =
+          match Stellar_archive.Archive.latest_seq a with
+          | Some s -> s + 1
+          | None -> header.Header.ledger_seq
+        in
+        if header.Header.ledger_seq = expected then
+          Option.iter
+            (fun tx_set ->
+              Stellar_archive.Archive.record_ledger a ~header ~tx_set
+                ~buckets:(Stellar_herder.Herder.buckets (Validator.herder v)))
+            (Stellar_herder.Herder.tx_set (Validator.herder v) header.Header.tx_set_hash)
+    | _ -> ()
+  in
   let validators =
     Array.init p.spec.Topology.n_nodes (fun i ->
         let config =
@@ -110,7 +145,8 @@ let run p =
               ledger_log := stats :: !ledger_log;
               timeouts_per_ledger := (!nom_timeouts, !ballot_timeouts) :: !timeouts_per_ledger;
               nom_timeouts := 0;
-              ballot_timeouts := 0
+              ballot_timeouts := 0;
+              record_in_archive stats
             end
           else fun _ -> ()
         in
@@ -125,7 +161,40 @@ let run p =
           ~genesis ~buckets:shared_buckets ~on_ledger_closed ~on_timeout ~obs:(obs_sink i)
           ())
   in
+  v0 := Some validators.(0);
   Array.iter Validator.start validators;
+  (* ---- fault schedule interpretation ---- *)
+  let sim_sink =
+    match telemetry with
+    | Some c -> Stellar_obs.Collector.sim_sink c
+    | None -> Stellar_obs.Sink.null
+  in
+  List.iter
+    (fun ev ->
+      let at delay f = ignore (Stellar_sim.Engine.schedule engine ~delay f) in
+      match ev with
+      | Fault.Crash { node; at = t } -> at t (fun () -> Validator.crash validators.(node))
+      | Fault.Restart { node; at = t } ->
+          at t (fun () -> Validator.restart ?archive validators.(node))
+      | Fault.Partition { at = t; groups } ->
+          at t (fun () ->
+              let arr = Array.make p.spec.Topology.n_nodes 0 in
+              List.iter (fun (node, g) -> arr.(node) <- g) groups;
+              Stellar_sim.Network.set_partition network (fun i -> arr.(i));
+              if Stellar_obs.Sink.enabled sim_sink then
+                Stellar_obs.Sink.emit sim_sink
+                  (Stellar_obs.Event.Partition_begin { groups = Array.to_list arr }))
+      | Fault.Heal { at = t } ->
+          at t (fun () ->
+              Stellar_sim.Network.set_partition network (fun _ -> 0);
+              if Stellar_obs.Sink.enabled sim_sink then
+                Stellar_obs.Sink.emit sim_sink Stellar_obs.Event.Partition_heal)
+      | Fault.Loss { rate; from_; until_ } ->
+          at from_ (fun () -> Stellar_sim.Network.set_loss_rate network rate);
+          at until_ (fun () -> Stellar_sim.Network.set_loss_rate network 0.0)
+      | Fault.Reflood { node; at = t; copies } ->
+          at t (fun () -> Validator.reflood validators.(node) ~copies))
+    p.faults;
   (* ---- load generation: Poisson arrivals of single-payment txs ---- *)
   let seqs = Array.make (max 1 (Array.length accounts)) 0 in
   let submitted = ref 0 in
@@ -198,27 +267,42 @@ let run p =
     if n_ledgers_all = 0 then 0.0
     else float_of_int (Validator.own_envelopes validators.(0)) /. float_of_int n_ledgers_all
   in
-  let diverged =
-    let hash_of i =
-      match Stellar_herder.Herder.last_header (Validator.herder validators.(i)) with
-      | Some h -> Some (Header.hash h)
-      | None -> None
-    in
-    (* compare validators at the same ledger seq: use min common length *)
-    let chains =
-      Array.to_list validators
-      |> List.filter (fun v -> p.spec.Topology.is_validator (Validator.index v))
-      |> List.map (fun v ->
-             List.rev_map Header.hash (Stellar_herder.Herder.headers (Validator.herder v)))
-    in
-    ignore hash_of;
-    match chains with
-    | [] -> false
+  (* per-validator header chains, oldest first, as hex hashes *)
+  let chains =
+    Array.to_list validators
+    |> List.filter (fun v -> p.spec.Topology.is_validator (Validator.index v))
+    |> List.map (fun v ->
+           ( Validator.index v,
+             List.rev_map
+               (fun h -> Stellar_crypto.Hex.encode (Header.hash h))
+               (Stellar_herder.Herder.headers (Validator.herder v)) ))
+  in
+  (* compare validators at the same ledger seq: use min common length *)
+  let common_prefix_equal cs =
+    match cs with
+    | [] -> true
     | first :: rest ->
-        let common = List.fold_left (fun acc c -> min acc (List.length c)) (List.length first) rest in
+        let common =
+          List.fold_left (fun acc c -> min acc (List.length c)) (List.length first) rest
+        in
         let prefix c = List.filteri (fun i _ -> i < common) c in
         let p0 = prefix first in
-        List.exists (fun c -> prefix c <> p0) rest
+        List.for_all (fun c -> prefix c = p0) rest
+  in
+  let diverged = not (common_prefix_equal (List.map snd chains)) in
+  (* Convergence after faults, judged over the validators that are up at the
+     end of the run: everyone closed ledgers, nobody is more than one close
+     behind (the cutoff can land mid-spread), and all chains agree on the
+     common prefix. *)
+  let converged =
+    let up = List.filter (fun (i, _) -> not (Stellar_sim.Network.is_down network i)) chains in
+    match up with
+    | [] -> false
+    | _ ->
+        let lens = List.map (fun (_, c) -> List.length c) up in
+        let minl = List.fold_left min (List.hd lens) lens in
+        let maxl = List.fold_left max (List.hd lens) lens in
+        minl > 0 && maxl - minl <= 1 && common_prefix_equal (List.map snd up)
   in
   {
     ledgers_closed = List.length stats;
@@ -251,6 +335,8 @@ let run p =
          float_of_int node0.Stellar_sim.Network.bytes_sent /. virtual_elapsed
        else 0.0);
     diverged;
+    chains;
+    converged;
     wall_seconds = Unix.gettimeofday () -. wall0;
     final_ledger_seq = Stellar_herder.Herder.ledger_seq (Validator.herder validators.(0));
     telemetry;

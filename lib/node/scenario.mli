@@ -28,6 +28,12 @@ type params = {
       (** bound the shared trace to this many events; once full, further
           events are dropped and counted under [obs.trace.dropped].
           Default unbounded *)
+  faults : Fault.schedule;
+      (** fault events to inject during the run (default none).  When
+          non-empty, the scenario keeps a history archive fed from node 0's
+          closes so restarted validators can bootstrap from a checkpoint
+          (§5.4); invalid schedules (see {!Fault.validate}) make {!run}
+          fail fast *)
 }
 
 val default : spec:Topology.spec -> params
@@ -51,6 +57,12 @@ type report = {
   bytes_in_per_second : float;  (** observed at node 0 *)
   bytes_out_per_second : float;
   diverged : bool;  (** any two validators on different header chains *)
+  chains : (int * string list) list;
+      (** per-validator header chains, oldest first, as hex hashes *)
+  converged : bool;
+      (** all validators still up at the end closed ledgers, are within one
+          close of each other, and agree on the common chain prefix — the
+          post-fault recovery criterion *)
   wall_seconds : float;  (** real time the simulation took *)
   final_ledger_seq : int;
   telemetry : Stellar_obs.Collector.t option;

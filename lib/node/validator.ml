@@ -4,9 +4,20 @@ type t = {
   network : Message.t Stellar_sim.Network.t;
   index : int;
   peers : int list;
-  herder : Stellar_herder.Herder.t;
+  config : Stellar_herder.Herder.config;
+  genesis : Stellar_ledger.State.t;
+  genesis_buckets : Stellar_bucket.Bucket_list.t option;
+  user_on_ledger_closed : Stellar_herder.Herder.ledger_stats -> unit;
+  user_on_timeout : kind:[ `Nomination | `Ballot ] -> unit;
   obs : Obs.Sink.t;
-  seen : (string, unit) Hashtbl.t;
+  mutable herder : Stellar_herder.Herder.t;
+  mutable generation : int;
+      (* bumped on every crash and restart: callbacks and timers close over
+         the generation they were created in and go inert when it changes,
+         so a stale SCP ballot timer can never fire into a dead herder or
+         re-broadcast from beyond the grave *)
+  mutable crashed : bool;
+  seen : (string, int) Hashtbl.t;  (* flood dedup: key -> expiry slot *)
   helped : (int * int, unit) Hashtbl.t;  (* (peer, slot) straggler replies sent *)
   mutable floods_seen : int;
   mutable floods_forwarded : int;
@@ -20,6 +31,8 @@ let floods_seen t = t.floods_seen
 let floods_forwarded t = t.floods_forwarded
 let own_envelopes t = t.own_envelopes
 let helped_size t = Hashtbl.length t.helped
+let seen_size t = Hashtbl.length t.seen
+let is_crashed t = t.crashed
 
 (* The straggler-reply memo only has to suppress duplicate help within the
    life of a slot: once slot [upto] is externalized locally, memos for it and
@@ -33,16 +46,38 @@ let prune_helped t ~upto =
   if Obs.Sink.enabled t.obs then
     Obs.Sink.set_gauge t.obs "validator.helped.size" (float_of_int (Hashtbl.length t.helped))
 
+(* How long a dedup entry stays useful.  Envelopes are only ever re-flooded
+   while their slot is live, so they expire right after it closes (+2 slots
+   of margin for stragglers still receiving late externalize copies).
+   Transactions and tx sets carry no slot, so they get a fixed horizon past
+   the ledger at which they were first seen — by then any copy still in
+   flight has long been delivered or dropped. *)
+let seen_ttl = 8
+
+let expiry_of t = function
+  | Message.Envelope env -> env.Scp.Types.statement.Scp.Types.slot + 2
+  | Message.Tx_set_msg _ | Message.Tx_msg _ ->
+      Stellar_herder.Herder.ledger_seq t.herder + seen_ttl
+
+(* Dedup entries whose expiry slot is now closed can go: any further copy of
+   those messages is late-externalize noise that [expiry_of]'s margin already
+   covered.  Without this the table grows with every message ever flooded. *)
+let prune_seen t ~upto =
+  let stale =
+    Hashtbl.fold (fun k expiry acc -> if expiry <= upto then k :: acc else acc) t.seen []
+  in
+  List.iter (Hashtbl.remove t.seen) stale;
+  if Obs.Sink.enabled t.obs then
+    Obs.Sink.set_gauge t.obs "validator.seen.size" (float_of_int (Hashtbl.length t.seen))
+
 (* [force] lets a node re-broadcast its own identical message (a straggler
    re-announcing its last statement must not be silenced by its own dedup
-   table). *)
-let flood t ?except ?(force = false) msg =
-  (* Encode once: the dedup key and the wire size both come from the same
-     canonical bytes. *)
-  let encoded = Message.encode msg in
+   table).  [encoded] is the message's canonical bytes, produced exactly once
+   by the caller: dedup key and wire size both come from it. *)
+let flood_encoded t ?except ?(force = false) ~encoded msg =
   let key = Stellar_crypto.Sha256.digest encoded in
   if force || not (Hashtbl.mem t.seen key) then begin
-    Hashtbl.replace t.seen key ();
+    Hashtbl.replace t.seen key (expiry_of t msg);
     let size = String.length encoded in
     (* One monotone id per flood decision: every fanout copy carries it, so
        each Flood_recv downstream names this exact Flood_send (the causal
@@ -64,6 +99,9 @@ let flood t ?except ?(force = false) msg =
            { kind = Message.kind_name msg; bytes = size; fanout = !fanout; msg_id })
     end
   end
+
+let flood t ?except ?force msg =
+  flood_encoded t ?except ?force ~encoded:(Message.encode msg) msg
 
 (* Point-to-point (non-flooded) send, used for straggler help: still tagged
    and traced as a fanout-1 Flood_send so every delivery in the trace
@@ -98,50 +136,111 @@ let maybe_help_straggler t ~src env =
   end
 
 let handle t ~src ~(info : Stellar_sim.Network.delivery) msg =
-  t.floods_seen <- t.floods_seen + 1;
-  let key = Message.dedup_key msg in
-  if not (Hashtbl.mem t.seen key) then begin
-    if Obs.Sink.enabled t.obs then begin
-      Obs.Sink.incr t.obs "flood.unique";
-      Obs.Sink.emit t.obs
-        (Obs.Event.Flood_recv
-           {
-             kind = Message.kind_name msg;
-             bytes = Message.size msg;
-             src;
-             send_id = info.Stellar_sim.Network.msg_id;
-             link_s = info.Stellar_sim.Network.link_s;
-             wait_s = info.Stellar_sim.Network.wait_s;
-             proc_s = info.Stellar_sim.Network.proc_s;
-           });
-      (* first sight of a transaction at this node: a tx-lifecycle mark for
-         the flood-propagation view (the origin emits its own in
-         broadcast_tx) *)
-      match msg with
-      | Message.Tx_msg signed ->
-          Obs.Sink.emit t.obs
-            (Obs.Event.Tx_flooded
-               {
-                 tx =
-                   Stellar_crypto.Hex.encode (Stellar_ledger.Tx.hash signed.Stellar_ledger.Tx.tx);
-               })
-      | _ -> ()
-    end;
-    (* process locally, then forward to our peers (flood with dedup) *)
-    (match msg with
-    | Message.Envelope env ->
-        Stellar_herder.Herder.receive_envelope t.herder env;
-        maybe_help_straggler t ~src env
-    | Message.Tx_set_msg ts -> Stellar_herder.Herder.receive_tx_set t.herder ts
-    | Message.Tx_msg signed -> ignore (Stellar_herder.Herder.receive_tx t.herder signed));
-    flood t ~except:src msg
+  if t.crashed then ()
+  else begin
+    t.floods_seen <- t.floods_seen + 1;
+    (* Encode exactly once per delivery: the dedup key, the traced byte
+       counts and (on forward) the wire size all come from these bytes. *)
+    let encoded = Message.encode msg in
+    let key = Stellar_crypto.Sha256.digest encoded in
+    if not (Hashtbl.mem t.seen key) then begin
+      if Obs.Sink.enabled t.obs then begin
+        Obs.Sink.incr t.obs "flood.unique";
+        Obs.Sink.emit t.obs
+          (Obs.Event.Flood_recv
+             {
+               kind = Message.kind_name msg;
+               bytes = String.length encoded;
+               src;
+               send_id = info.Stellar_sim.Network.msg_id;
+               link_s = info.Stellar_sim.Network.link_s;
+               wait_s = info.Stellar_sim.Network.wait_s;
+               proc_s = info.Stellar_sim.Network.proc_s;
+             });
+        (* first sight of a transaction at this node: a tx-lifecycle mark for
+           the flood-propagation view (the origin emits its own in
+           broadcast_tx) *)
+        match msg with
+        | Message.Tx_msg signed ->
+            Obs.Sink.emit t.obs
+              (Obs.Event.Tx_flooded
+                 {
+                   tx =
+                     Stellar_crypto.Hex.encode (Stellar_ledger.Tx.hash signed.Stellar_ledger.Tx.tx);
+                 })
+        | _ -> ()
+      end;
+      (* process locally, then forward to our peers (flood with dedup) *)
+      (match msg with
+      | Message.Envelope env ->
+          Stellar_herder.Herder.receive_envelope t.herder env;
+          maybe_help_straggler t ~src env
+      | Message.Tx_set_msg ts -> Stellar_herder.Herder.receive_tx_set t.herder ts
+      | Message.Tx_msg signed -> ignore (Stellar_herder.Herder.receive_tx t.herder signed));
+      flood_encoded t ~except:src ~encoded msg
+    end
+    else if Obs.Sink.enabled t.obs then begin
+      let bytes = String.length encoded in
+      Obs.Sink.incr t.obs "flood.dup_dropped";
+      Obs.Sink.add t.obs "flood.dup_bytes" bytes;
+      Obs.Sink.emit t.obs (Obs.Event.Dedup_drop { kind = Message.kind_name msg; src; bytes })
+    end
   end
-  else if Obs.Sink.enabled t.obs then begin
-    let bytes = Message.size msg in
-    Obs.Sink.incr t.obs "flood.dup_dropped";
-    Obs.Sink.add t.obs "flood.dup_bytes" bytes;
-    Obs.Sink.emit t.obs (Obs.Event.Dedup_drop { kind = Message.kind_name msg; src; bytes })
-  end
+
+(* Herder callbacks for generation [gen].  Every one of them re-checks the
+   validator's current generation before acting: after a crash or restart
+   bumps it, timers and broadcasts created under the old herder fall
+   silent instead of acting on dead state. *)
+let callbacks_for ~engine ~gen get_t =
+  Stellar_herder.Herder.
+    {
+      broadcast_envelope =
+        (fun env ->
+          let v = get_t () in
+          if v.generation = gen then begin
+            v.own_envelopes <- v.own_envelopes + 1;
+            Obs.Sink.incr v.obs "flood.own_envelopes";
+            flood v ~force:true (Message.Envelope env)
+          end);
+      broadcast_tx_set =
+        (fun ts ->
+          let v = get_t () in
+          if v.generation = gen then flood v (Message.Tx_set_msg ts));
+      broadcast_tx =
+        (fun signed ->
+          let v = get_t () in
+          if v.generation = gen then begin
+            if Obs.Sink.enabled v.obs then
+              Obs.Sink.emit v.obs
+                (Obs.Event.Tx_flooded
+                   {
+                     tx =
+                       Stellar_crypto.Hex.encode
+                         (Stellar_ledger.Tx.hash signed.Stellar_ledger.Tx.tx);
+                   });
+            flood v (Message.Tx_msg signed)
+          end);
+      schedule =
+        (fun ~delay f ->
+          let timer =
+            Stellar_sim.Engine.schedule engine ~delay (fun () ->
+                if (get_t ()).generation = gen then f ())
+          in
+          fun () -> Stellar_sim.Engine.cancel timer);
+      now = (fun () -> Stellar_sim.Engine.now engine);
+      on_ledger_closed =
+        (fun stats ->
+          let v = get_t () in
+          if v.generation = gen then begin
+            prune_helped v ~upto:stats.Stellar_herder.Herder.seq;
+            prune_seen v ~upto:stats.Stellar_herder.Herder.seq;
+            v.user_on_ledger_closed stats
+          end);
+      on_timeout =
+        (fun ~kind ->
+          let v = get_t () in
+          if v.generation = gen then v.user_on_timeout ~kind);
+    }
 
 let create ~network ~index ~peers ~config ~genesis ?buckets ?headers
     ?(on_ledger_closed = fun _ -> ()) ?(on_timeout = fun ~kind:_ -> ())
@@ -149,47 +248,20 @@ let create ~network ~index ~peers ~config ~genesis ?buckets ?headers
   let engine = Stellar_sim.Network.engine network in
   let rec t =
     lazy
-      (let cb =
-         Stellar_herder.Herder.
-           {
-             broadcast_envelope =
-               (fun env ->
-                 let v = Lazy.force t in
-                 v.own_envelopes <- v.own_envelopes + 1;
-                 Obs.Sink.incr v.obs "flood.own_envelopes";
-                 flood v ~force:true (Message.Envelope env));
-             broadcast_tx_set = (fun ts -> flood (Lazy.force t) (Message.Tx_set_msg ts));
-             broadcast_tx =
-               (fun signed ->
-                 let v = Lazy.force t in
-                 if Obs.Sink.enabled v.obs then
-                   Obs.Sink.emit v.obs
-                     (Obs.Event.Tx_flooded
-                        {
-                          tx =
-                            Stellar_crypto.Hex.encode
-                              (Stellar_ledger.Tx.hash signed.Stellar_ledger.Tx.tx);
-                        });
-                 flood v (Message.Tx_msg signed));
-             schedule =
-               (fun ~delay f ->
-                 let timer = Stellar_sim.Engine.schedule engine ~delay f in
-                 fun () -> Stellar_sim.Engine.cancel timer);
-             now = (fun () -> Stellar_sim.Engine.now engine);
-             on_ledger_closed =
-               (fun stats ->
-                 let v = Lazy.force t in
-                 prune_helped v ~upto:stats.Stellar_herder.Herder.seq;
-                 on_ledger_closed stats);
-             on_timeout;
-           }
-       in
+      (let cb = callbacks_for ~engine ~gen:0 (fun () -> Lazy.force t) in
        {
          network;
          index;
          peers;
-         herder = Stellar_herder.Herder.create config cb ~genesis ?buckets ?headers ~obs ();
+         config;
+         genesis;
+         genesis_buckets = buckets;
+         user_on_ledger_closed = on_ledger_closed;
+         user_on_timeout = on_timeout;
          obs;
+         herder = Stellar_herder.Herder.create config cb ~genesis ?buckets ?headers ~obs ();
+         generation = 0;
+         crashed = false;
          seen = Hashtbl.create 1024;
          helped = Hashtbl.create 64;
          floods_seen = 0;
@@ -205,4 +277,84 @@ let start t = Stellar_herder.Herder.start t.herder
 let stop t = Stellar_herder.Herder.stop t.herder
 
 let submit_tx t signed =
-  match Stellar_herder.Herder.submit_tx t.herder signed with `Queued | `Duplicate -> ()
+  if not t.crashed then
+    match Stellar_herder.Herder.submit_tx t.herder signed with `Queued | `Duplicate -> ()
+
+(* ---- fault injection ---- *)
+
+let crash t =
+  if not t.crashed then begin
+    Stellar_herder.Herder.stop t.herder;
+    t.crashed <- true;
+    t.generation <- t.generation + 1;
+    Stellar_sim.Network.set_down t.network t.index true;
+    if Obs.Sink.enabled t.obs then begin
+      Obs.Sink.incr t.obs "fault.crashes";
+      Obs.Sink.emit t.obs Obs.Event.Node_crash
+    end
+  end
+
+let restart ?archive t =
+  if t.crashed then begin
+    t.crashed <- false;
+    t.generation <- t.generation + 1;
+    (* the process died: its dedup/memo tables did not survive *)
+    Hashtbl.reset t.seen;
+    Hashtbl.reset t.helped;
+    Stellar_sim.Network.set_down t.network t.index false;
+    if Obs.Sink.enabled t.obs then begin
+      Obs.Sink.incr t.obs "fault.restarts";
+      Obs.Sink.emit t.obs Obs.Event.Node_restart
+    end;
+    (* §5.4 bootstrap: rebuild state from the archive's latest checkpoint and
+       replay forward to its tip; whatever closed after the archive tip is
+       recovered live via straggler help once we rejoin consensus. *)
+    let bootstrap =
+      match archive with
+      | None -> None
+      | Some a -> (
+          match Stellar_archive.Archive.catchup a with
+          | Ok (state, buckets, chain) ->
+              let from_seq =
+                match Stellar_archive.Archive.latest_checkpoint a with
+                | Some c -> c.Stellar_archive.Archive.seq
+                | None -> 0
+              in
+              Some (from_seq, state, buckets, chain)
+          | Error _ -> None)
+    in
+    let from_seq = match bootstrap with Some (f, _, _, _) -> f | None -> 0 in
+    if Obs.Sink.enabled t.obs then
+      Obs.Sink.emit t.obs (Obs.Event.Catchup_begin { from_seq });
+    let engine = Stellar_sim.Network.engine t.network in
+    let cb = callbacks_for ~engine ~gen:t.generation (fun () -> t) in
+    let to_seq, replayed =
+      match bootstrap with
+      | Some (from_seq, state, buckets, chain) ->
+          let to_seq = Stellar_ledger.State.ledger_seq state in
+          t.herder <-
+            Stellar_herder.Herder.create t.config cb ~genesis:state ~buckets
+              ~headers:(List.rev chain) ~obs:t.obs ();
+          (to_seq, max 0 (to_seq - from_seq))
+      | None ->
+          t.herder <-
+            Stellar_herder.Herder.create t.config cb ~genesis:t.genesis
+              ?buckets:t.genesis_buckets ~obs:t.obs ();
+          (0, 0)
+    in
+    if Obs.Sink.enabled t.obs then
+      Obs.Sink.emit t.obs (Obs.Event.Catchup_done { to_seq; replayed });
+    Stellar_herder.Herder.start t.herder
+  end
+
+(* Byzantine-style pressure: re-broadcast our latest envelopes [copies]
+   times, bypassing our own dedup table.  Correct peers drop every copy
+   after the first — the interesting measurement is the wasted bytes. *)
+let reflood t ~copies =
+  if not t.crashed then begin
+    Obs.Sink.incr t.obs "fault.refloods";
+    let envs = Stellar_herder.Herder.recent_envelopes t.herder in
+    for _ = 1 to copies do
+      List.iter (fun e -> flood t ~force:true (Message.Envelope e)) envs
+    done
+  end

@@ -42,3 +42,37 @@ val helped_size : t -> int
     pruned whenever a ledger closes (memos for externalized slots are
     dropped), so it stays bounded over long simulations; its size is also
     exported as the [validator.helped.size] gauge. *)
+
+val seen_size : t -> int
+(** Entries in the flood dedup table.  Each entry carries an expiry slot
+    (an envelope's statement slot plus a small margin; a fixed horizon for
+    transactions and tx sets) and is dropped when a ledger at or past that
+    slot closes, so the table stays bounded over long simulations; its size
+    is exported as the [validator.seen.size] gauge. *)
+
+(** {2 Fault injection}
+
+    A crash/restart models losing the whole process: the herder (and all its
+    SCP timers) is abandoned, the dedup and straggler-memo tables are lost,
+    and the network marks the node down.  Restart rebuilds a fresh herder —
+    from the archive's latest checkpoint plus replay when an [archive] is
+    supplied (§5.4), from genesis otherwise — and rejoins consensus, closing
+    any remaining gap live through the §6 straggler-help protocol.  An
+    internal generation counter keeps timers and broadcasts created before
+    the fault from acting on the new incarnation. *)
+
+val crash : t -> unit
+(** Stop the herder, mark the node down, emit [Node_crash].  Idempotent. *)
+
+val restart : ?archive:Stellar_archive.Archive.t -> t -> unit
+(** Bring a crashed node back: emits [Node_restart], [Catchup_begin] (with
+    the checkpoint seq, 0 when restarting from genesis) and [Catchup_done]
+    (archive tip and replayed-ledger count), then starts the rebuilt herder.
+    No-op if the node is not crashed. *)
+
+val is_crashed : t -> bool
+
+val reflood : t -> copies:int -> unit
+(** Byzantine-style fault: re-broadcast this node's latest envelopes
+    [copies] times, bypassing its own dedup table.  Peers' dedup tables
+    absorb every copy after the first; counted as [fault.refloods]. *)

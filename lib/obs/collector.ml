@@ -16,7 +16,9 @@ let create ?trace_capacity ~n ~now () =
     sim_registry;
     sinks =
       Array.init n (fun node -> Sink.make ~trace ~node ~now node_registries.(node));
-    sim_sink = Sink.make ~node:(-1) ~now sim_registry;
+    (* the sim sink shares the trace so run-level events (partition begin/
+       heal, loss windows) can be recorded with node id -1 *)
+    sim_sink = Sink.make ~trace ~node:(-1) ~now sim_registry;
   }
 
 let trace t = t.trace

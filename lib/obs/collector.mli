@@ -14,7 +14,11 @@ val trace : t -> Trace.t
 val n_nodes : t -> int
 
 val sink : t -> int -> Sink.t
+
 val sim_sink : t -> Sink.t
+(** Sink for run-level instrumentation (the engine's counters, and
+    fault-injection events that belong to no single node); it shares the
+    run's trace and stamps events with node id -1. *)
 
 val registry : t -> int -> Registry.t
 val sim_registry : t -> Registry.t

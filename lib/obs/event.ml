@@ -31,6 +31,12 @@ type t =
   | Tx_externalized of { tx : string; slot : int }
   | Tx_applied of { tx : string; slot : int; ok : bool }
   | Tx_dropped of { tx : string; reason : drop_reason }
+  | Node_crash
+  | Node_restart
+  | Partition_begin of { groups : int list }
+  | Partition_heal
+  | Catchup_begin of { from_seq : int }
+  | Catchup_done of { to_seq : int; replayed : int }
 
 let name = function
   | Nominate_start _ -> "nominate.start"
@@ -54,6 +60,12 @@ let name = function
   | Tx_externalized _ -> "tx.externalized"
   | Tx_applied _ -> "tx.applied"
   | Tx_dropped _ -> "tx.dropped"
+  | Node_crash -> "fault.crash"
+  | Node_restart -> "fault.restart"
+  | Partition_begin _ -> "fault.partition"
+  | Partition_heal -> "fault.heal"
+  | Catchup_begin _ -> "catchup.begin"
+  | Catchup_done _ -> "catchup.done"
 
 let timeout_kind_name = function `Nomination -> "nomination" | `Ballot -> "ballot"
 let drop_reason_name = function `Duplicate -> "duplicate" | `Stale -> "stale"
@@ -92,3 +104,10 @@ let fields = function
       Printf.sprintf {|,"tx":"%s","slot":%d,"ok":%b|} tx slot ok
   | Tx_dropped { tx; reason } ->
       Printf.sprintf {|,"tx":"%s","reason":"%s"|} tx (drop_reason_name reason)
+  | Node_crash | Node_restart | Partition_heal -> ""
+  | Partition_begin { groups } ->
+      Printf.sprintf {|,"groups":[%s]|}
+        (String.concat "," (List.map string_of_int groups))
+  | Catchup_begin { from_seq } -> Printf.sprintf {|,"from_seq":%d|} from_seq
+  | Catchup_done { to_seq; replayed } ->
+      Printf.sprintf {|,"to_seq":%d,"replayed":%d|} to_seq replayed

@@ -65,6 +65,17 @@ type t =
   | Tx_applied of { tx : string; slot : int; ok : bool }
       (** applied to the ledger ([ok] = success outcome) *)
   | Tx_dropped of { tx : string; reason : drop_reason }
+  | Node_crash  (** validator went down (fault injection); node id from stamp *)
+  | Node_restart  (** validator came back up and began catching up *)
+  | Partition_begin of { groups : int list }
+      (** network split; [groups] is the partition-group id of each node *)
+  | Partition_heal  (** all partition groups rejoined *)
+  | Catchup_begin of { from_seq : int }
+      (** restart bootstrap: rebuilding state from the checkpoint at
+          [from_seq] (0 = no archive, restarting from genesis) *)
+  | Catchup_done of { to_seq : int; replayed : int }
+      (** archive replay finished at [to_seq] after re-applying [replayed]
+          ledgers; slots beyond this are recovered live via straggler help *)
 
 val name : t -> string
 (** Stable dotted event name ("flood.send", "tx.applied", ...). *)

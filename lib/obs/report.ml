@@ -414,6 +414,182 @@ let e2e_latency ?(apply_cost = default_apply_cost) trace =
     submit_to_apply = quantiles (List.rev !apply_lat);
   }
 
+(* ---- fault recovery (crash → restart → catchup → back in sync) ---- *)
+
+type recovery = {
+  rec_node : int;
+  t_crash : float;
+  t_restart : float;
+  catchup_from : int;  (** checkpoint seq the restart bootstrapped from *)
+  catchup_to : int;  (** archive tip reached by replay *)
+  replayed : int;
+  t_resync : float option;
+  recover_s : float option;
+}
+
+type heal_report = {
+  t_split : float;
+  t_heal : float;
+  lagged : (int * float option) list;
+  heal_recover_s : float option;
+}
+
+(* Externalize times per slot, as (node, time) in trace order (first
+   externalize per (slot, node) only: a node externalizes a slot once). *)
+let externalizations trace =
+  let by_slot : (int, (int * float) list ref) Hashtbl.t = Hashtbl.create 64 in
+  Trace.iter trace (fun s ->
+      match s.Trace.event with
+      | Event.Externalize { slot } ->
+          let l =
+            match Hashtbl.find_opt by_slot slot with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add by_slot slot l;
+                l
+          in
+          if not (List.mem_assoc s.Trace.node !l) then l := (s.Trace.node, s.Trace.time) :: !l
+      | _ -> ());
+  by_slot
+
+(* A node is "back in sync" at the first slot it externalizes no later than
+   [interval/2] after the fastest *other* node: replayed/straggler-helped
+   old slots close long after the network did and fail this test, while the
+   first live slot closes with the crowd (normal spread is milliseconds). *)
+let first_in_sync by_slot ~interval ~node ~after =
+  let candidates =
+    Hashtbl.fold
+      (fun _slot l acc ->
+        match List.assoc_opt node !l with
+        | Some t_n when t_n >= after -> (
+            match
+              List.filter_map (fun (m, t) -> if m <> node then Some t else None) !l
+            with
+            | [] -> acc
+            | others ->
+                let t_min = List.fold_left Float.min (List.hd others) others in
+                if t_n -. t_min <= interval /. 2.0 then t_n :: acc else acc)
+        | _ -> acc)
+      by_slot []
+  in
+  match candidates with [] -> None | t :: rest -> Some (List.fold_left Float.min t rest)
+
+let recoveries ?(interval = 5.0) trace =
+  let by_slot = externalizations trace in
+  (* per-node fault timelines, in trace order *)
+  let crashes : (int, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let restarts : (int, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let catchups : (int, (float * int * int * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let push tbl node v =
+    match Hashtbl.find_opt tbl node with
+    | Some l -> l := v :: !l
+    | None -> Hashtbl.add tbl node (ref [ v ])
+  in
+  let pending_from : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  Trace.iter trace (fun s ->
+      match s.Trace.event with
+      | Event.Node_crash -> push crashes s.Trace.node s.Trace.time
+      | Event.Node_restart -> push restarts s.Trace.node s.Trace.time
+      | Event.Catchup_begin { from_seq } -> Hashtbl.replace pending_from s.Trace.node from_seq
+      | Event.Catchup_done { to_seq; replayed } ->
+          let from_seq =
+            Option.value ~default:0 (Hashtbl.find_opt pending_from s.Trace.node)
+          in
+          push catchups s.Trace.node (s.Trace.time, from_seq, to_seq, replayed)
+      | _ -> ());
+  let nodes =
+    Hashtbl.fold (fun n _ acc -> n :: acc) crashes [] |> List.sort_uniq Int.compare
+  in
+  List.concat_map
+    (fun node ->
+      let get tbl = match Hashtbl.find_opt tbl node with Some l -> List.rev !l | None -> [] in
+      let cs = get crashes and rs = get restarts and cus = get catchups in
+      (* pair the i-th crash with the i-th restart (Fault.validate enforces
+         the alternation) *)
+      List.mapi
+        (fun i t_crash ->
+          match List.nth_opt rs i with
+          | None ->
+              {
+                rec_node = node;
+                t_crash;
+                t_restart = nan;
+                catchup_from = 0;
+                catchup_to = 0;
+                replayed = 0;
+                t_resync = None;
+                recover_s = None;
+              }
+          | Some t_restart ->
+              let catchup_from, catchup_to, replayed =
+                match
+                  List.find_opt (fun (t, _, _, _) -> t >= t_restart -. 1e-9) cus
+                with
+                | Some (_, f, upto, n) -> (f, upto, n)
+                | None -> (0, 0, 0)
+              in
+              let t_resync = first_in_sync by_slot ~interval ~node ~after:t_restart in
+              {
+                rec_node = node;
+                t_crash;
+                t_restart;
+                catchup_from;
+                catchup_to;
+                replayed;
+                t_resync;
+                recover_s = Option.map (fun t -> t -. t_restart) t_resync;
+              })
+        cs)
+    nodes
+
+let heals ?(interval = 5.0) trace =
+  let by_slot = externalizations trace in
+  (* pair each Partition_begin with the next Partition_heal *)
+  let out = ref [] in
+  let open_split = ref None in
+  Trace.iter trace (fun s ->
+      match s.Trace.event with
+      | Event.Partition_begin { groups } -> open_split := Some (s.Trace.time, groups)
+      | Event.Partition_heal -> (
+          match !open_split with
+          | None -> ()
+          | Some (t_split, groups) ->
+              open_split := None;
+              (* the majority group keeps externalizing; everyone else lags *)
+              let counts = Hashtbl.create 4 in
+              List.iter
+                (fun g ->
+                  Hashtbl.replace counts g (1 + Option.value ~default:0 (Hashtbl.find_opt counts g)))
+                groups;
+              let majority, _ =
+                Hashtbl.fold
+                  (fun g c ((bg, bc) as best) ->
+                    if c > bc || (c = bc && g < bg) then (g, c) else best)
+                  counts (min_int, 0)
+              in
+              let t_heal = s.Trace.time in
+              let lagged =
+                List.mapi (fun node g -> (node, g)) groups
+                |> List.filter (fun (_, g) -> g <> majority)
+                |> List.map (fun (node, _) ->
+                       ( node,
+                         Option.map
+                           (fun t -> t -. t_heal)
+                           (first_in_sync by_slot ~interval ~node ~after:t_heal) ))
+              in
+              let heal_recover_s =
+                if lagged = [] || List.exists (fun (_, d) -> d = None) lagged then None
+                else
+                  Some
+                    (List.fold_left
+                       (fun acc (_, d) -> Float.max acc (Option.get d))
+                       0.0 lagged)
+              in
+              out := { t_split; t_heal; lagged; heal_recover_s } :: !out)
+      | _ -> ());
+  List.rev !out
+
 (* ---- span pairing (handles nesting via a per-key stack) ---- *)
 
 let spans trace =
@@ -487,3 +663,36 @@ let e2e_json e =
     e.n_submitted e.n_externalized e.n_applied e.n_dropped
     (quantiles_json e.submit_to_externalize)
     (quantiles_json e.submit_to_apply)
+
+let float_opt_json = function None -> "null" | Some v -> Printf.sprintf "%.6f" v
+
+let recoveries_json rs =
+  let one r =
+    Printf.sprintf
+      {|{"node":%d,"t_crash":%.6f,"t_restart":%.6f,"catchup_from":%d,"catchup_to":%d,"replayed":%d,"t_resync":%s,"recover_s":%s}|}
+      r.rec_node r.t_crash r.t_restart r.catchup_from r.catchup_to r.replayed
+      (float_opt_json r.t_resync)
+      (float_opt_json r.recover_s)
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.rec_node b.rec_node with
+        | 0 -> compare a.t_crash b.t_crash
+        | c -> c)
+      rs
+  in
+  "[" ^ String.concat "," (List.map one sorted) ^ "]"
+
+let heals_json hs =
+  let one h =
+    let lagged =
+      List.sort (fun (a, _) (b, _) -> compare a b) h.lagged
+      |> List.map (fun (node, d) ->
+             Printf.sprintf {|{"node":%d,"recover_s":%s}|} node (float_opt_json d))
+    in
+    Printf.sprintf {|{"t_split":%.6f,"t_heal":%.6f,"lagged":[%s],"recover_s":%s}|}
+      h.t_split h.t_heal (String.concat "," lagged)
+      (float_opt_json h.heal_recover_s)
+  in
+  "[" ^ String.concat "," (List.map one hs) ^ "]"

@@ -126,6 +126,44 @@ val spans : Trace.t -> (int * string * int * float * float) list
 (** Paired [Span_begin]/[Span_end] as (node, name, slot, t0, t1), in
     completion order; nested same-key spans pair LIFO. *)
 
+(** {2 Fault recovery}
+
+    Derived from the fault-injection events ([Node_crash] / [Node_restart] /
+    [Catchup_begin] / [Catchup_done] / [Partition_begin] / [Partition_heal])
+    plus externalize timestamps.  A node counts as "back in sync" at its
+    first externalize that lands within [interval/2] of the fastest other
+    node for the same slot: catchup replays and straggler-helped old slots
+    close long after the network did and fail that test, while the first
+    live slot closes with the crowd. *)
+
+type recovery = {
+  rec_node : int;
+  t_crash : float;
+  t_restart : float;  (** [nan] if the node never restarted *)
+  catchup_from : int;  (** checkpoint seq the restart bootstrapped from *)
+  catchup_to : int;  (** archive tip reached by replay *)
+  replayed : int;
+  t_resync : float option;  (** first in-sync externalize after restart *)
+  recover_s : float option;  (** [t_resync - t_restart] *)
+}
+
+val recoveries : ?interval:float -> Trace.t -> recovery list
+(** One record per crash, pairing the i-th crash of a node with its i-th
+    restart; [interval] (default 5 s) is the ledger-close interval used by
+    the in-sync test. *)
+
+type heal_report = {
+  t_split : float;
+  t_heal : float;
+  lagged : (int * float option) list;
+      (** minority-side nodes and their post-heal resync delay *)
+  heal_recover_s : float option;
+      (** slowest lagged node's resync delay; [None] if any never resynced *)
+}
+
+val heals : ?interval:float -> Trace.t -> heal_report list
+(** One record per [Partition_begin]/[Partition_heal] pair, in order. *)
+
 (** JSON fragments with deterministic formatting (durations in ms). *)
 
 val quantiles_json : quantiles -> string
@@ -134,3 +172,8 @@ val phases_json : phases list -> string
 val flood_json : (int * flood) list -> string
 val critical_paths_json : critical_path list -> string
 val e2e_json : e2e -> string
+
+val recoveries_json : recovery list -> string
+(** Sorted by (node, t_crash); absent times render as [null]. *)
+
+val heals_json : heal_report list -> string

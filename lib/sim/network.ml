@@ -80,7 +80,11 @@ let create ~engine ~rng ~n ~latency ?(processing = fun _ -> 0.0) ?obs () =
 let size t = Array.length t.handlers
 let engine t = t.engine
 let set_handler t i f = t.handlers.(i) <- Some f
-let set_down t i b = t.down.(i) <- b
+let set_down t i b =
+  (* Coming back up clears any CPU-queue backlog accrued before the crash:
+     the machine rebooted, its receive queue did not survive. *)
+  if t.down.(i) && not b then t.busy_until.(i) <- Engine.now t.engine;
+  t.down.(i) <- b
 let is_down t i = t.down.(i)
 let set_partition t f = t.partition <- f
 let set_loss_rate t r = t.loss_rate <- r
@@ -132,17 +136,22 @@ let send t ~src ~dst ~size:bytes ?(msg_id = -1) msg =
          time order), so an in-flight straggler never blocks messages that
          land before it. *)
       let on_arrival () =
-        let now = Engine.now t.engine in
-        let start = Float.max now t.busy_until.(dst) in
-        let proc = t.processing bytes in
-        let finish = start +. proc in
-        t.busy_until.(dst) <- finish;
-        let info =
-          { msg_id; sent_at; link_s = link; wait_s = start -. now; proc_s = proc }
-        in
-        if finish > now then
-          ignore (Engine.schedule t.engine ~delay:(finish -. now) (deliver info))
-        else deliver info ()
+        (* A down node has no CPU to queue on: arrivals while down are
+           dropped without advancing [busy_until], so a restarted node does
+           not resume with phantom backlog. *)
+        if not t.down.(dst) then begin
+          let now = Engine.now t.engine in
+          let start = Float.max now t.busy_until.(dst) in
+          let proc = t.processing bytes in
+          let finish = start +. proc in
+          t.busy_until.(dst) <- finish;
+          let info =
+            { msg_id; sent_at; link_s = link; wait_s = start -. now; proc_s = proc }
+          in
+          if finish > now then
+            ignore (Engine.schedule t.engine ~delay:(finish -. now) (deliver info))
+          else deliver info ()
+        end
       in
       ignore (Engine.schedule t.engine ~delay:link on_arrival)
     end

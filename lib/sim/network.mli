@@ -64,7 +64,9 @@ val alloc_msg_id : 'msg t -> int
     decision: all fanout copies of the same broadcast share it. *)
 
 val set_down : 'msg t -> int -> bool -> unit
-(** A down node neither sends nor receives. *)
+(** A down node neither sends nor receives, and arrivals while down do not
+    accrue CPU-queue busy time.  Bringing a node back up resets its CPU
+    queue to idle (the pre-crash backlog did not survive the reboot). *)
 
 val is_down : 'msg t -> int -> bool
 

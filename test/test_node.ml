@@ -334,7 +334,7 @@ let archive_tests =
         (* catchup *)
         (match Stellar_archive.Archive.catchup archive with
         | Error e -> fail e
-        | Ok (state, chain) ->
+        | Ok (state, _buckets, chain) ->
             let live = Stellar_herder.Herder.state (Validator.herder validator) in
             check bool "caught-up state matches live snapshot" true
               (String.equal
@@ -467,7 +467,7 @@ let join_tests =
         let founder_seq = Stellar_herder.Herder.ledger_seq (Validator.herder founders.(0)) in
         check bool "founders made progress" true (founder_seq >= 6);
         (* the newcomer catches up offline from the archive... *)
-        let state, chain =
+        let state, catchup_buckets, chain =
           match Stellar_archive.Archive.catchup archive with
           | Ok r -> r
           | Error e -> fail e
@@ -481,7 +481,7 @@ let join_tests =
                 with
                 Stellar_herder.Herder.is_validator = false;
               }
-            ~genesis:state ~headers:(List.rev chain) ()
+            ~genesis:state ~buckets:catchup_buckets ~headers:(List.rev chain) ()
         in
         Validator.start newcomer;
         let start_seq = Stellar_herder.Herder.ledger_seq (Validator.herder newcomer) in
